@@ -1,0 +1,40 @@
+# HiveMind reproduction — common targets.
+
+GO ?= go
+
+.PHONY: all build test race bench sweep examples fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/rpc/ ./internal/store/ ./internal/runtime/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Full paper-scale evaluation (writes the EXPERIMENTS.md data).
+sweep:
+	$(GO) run ./cmd/hivemind-bench -out full_report.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/treasurehunt
+	$(GO) run ./examples/peoplecount
+	$(GO) run ./examples/rovermaze
+	$(GO) run ./examples/dslsynth
+	$(GO) run ./examples/localfaas
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,181 @@
+package hivemind
+
+// One benchmark per table/figure in the paper's evaluation. Each bench
+// regenerates its figure's rows via the experiment driver (quick-mode
+// sweeps so `go test -bench .` completes in minutes) and reports the
+// figure's headline quantity as a custom metric, so the paper-vs-
+// measured comparison is visible straight from the bench output.
+//
+// Run the full paper-scale sweep with:  go run ./cmd/hivemind-bench
+
+import (
+	"testing"
+
+	"hivemind/internal/experiments"
+)
+
+// runFig executes one experiment per bench iteration and returns the
+// last report for metric extraction.
+func runFig(b *testing.B, id string) *experiments.Report {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep = e.Run(experiments.RunConfig{Seed: int64(i + 1), Quick: true})
+	}
+	return rep
+}
+
+// BenchmarkFig01_TreasureHunt regenerates Fig. 1: Scenario A execution
+// time and battery across the four systems at two swarm scales.
+func BenchmarkFig01_TreasureHunt(b *testing.B) {
+	rep := runFig(b, "fig01")
+	b.ReportMetric(rep.Value("speedup_real"), "x-speedup-16drones")
+	b.ReportMetric(rep.Value("speedup_large"), "x-speedup-large")
+}
+
+// BenchmarkFig03a_LatencyBreakdown regenerates Fig. 3a: the
+// network/management/execution latency split under all-cloud execution.
+func BenchmarkFig03a_LatencyBreakdown(b *testing.B) {
+	rep := runFig(b, "fig03a")
+	b.ReportMetric(rep.Value("net_frac_mean")*100, "%netfrac-paper33")
+}
+
+// BenchmarkFig03b_NetworkSaturation regenerates Fig. 3b: bandwidth and
+// tail latency vs drones × frame resolution.
+func BenchmarkFig03b_NetworkSaturation(b *testing.B) {
+	rep := runFig(b, "fig03b")
+	b.ReportMetric(rep.Value("saturation_blowup_8MB"), "x-p99blowup-8MB")
+}
+
+// BenchmarkFig04_CentralVsEdge regenerates Fig. 4: centralized vs
+// distributed task-latency distributions.
+func BenchmarkFig04_CentralVsEdge(b *testing.B) {
+	rep := runFig(b, "fig04")
+	b.ReportMetric(rep.Value("dist_p50_S1")/rep.Value("cen_p50_S1"), "x-edgepenalty-S1")
+}
+
+// BenchmarkFig05a_Concurrency regenerates Fig. 5a: fixed vs serverless
+// vs serverless with intra-task parallelism.
+func BenchmarkFig05a_Concurrency(b *testing.B) {
+	rep := runFig(b, "fig05a")
+	b.ReportMetric(rep.Value("fixed_p50_S1")/rep.Value("slspar_p50_S1"), "x-serverless-gain-S1")
+}
+
+// BenchmarkFig05b_Elasticity regenerates Fig. 5b: latency under a load
+// ramp on serverless vs avg-/max-provisioned deployments.
+func BenchmarkFig05b_Elasticity(b *testing.B) {
+	rep := runFig(b, "fig05b")
+	b.ReportMetric(rep.Value("fixed-avg_p95")/rep.Value("serverless_p95"), "x-avgfixed-saturation")
+}
+
+// BenchmarkFig05c_FaultTolerance regenerates Fig. 5c: task completion
+// under 0–20% injected function failures.
+func BenchmarkFig05c_FaultTolerance(b *testing.B) {
+	rep := runFig(b, "fig05c")
+	b.ReportMetric(rep.Value("completion_ratio_20pct")*100, "%completion-at-20pct-failures")
+}
+
+// BenchmarkFig06a_Variability regenerates Fig. 6a: reserved vs
+// serverless latency variability.
+func BenchmarkFig06a_Variability(b *testing.B) {
+	rep := runFig(b, "fig06a")
+	b.ReportMetric(rep.Value("serverless_more_variable_jobs"), "jobs-more-variable")
+}
+
+// BenchmarkFig06b_Instantiation regenerates Fig. 6b: instantiation and
+// data-sharing shares of serverless latency.
+func BenchmarkFig06b_Instantiation(b *testing.B) {
+	rep := runFig(b, "fig06b")
+	b.ReportMetric(rep.Value("inst_frac_mean")*100, "%instantiation-paper22")
+}
+
+// BenchmarkFig06c_DataSharing regenerates Fig. 6c: CouchDB vs direct
+// RPC vs in-memory inter-function data exchange.
+func BenchmarkFig06c_DataSharing(b *testing.B) {
+	rep := runFig(b, "fig06c")
+	b.ReportMetric(rep.Value("couch_S1")/rep.Value("inmem_S1"), "x-couch-vs-inmem-S1")
+}
+
+// BenchmarkFig11_HiveMindLatency regenerates Fig. 11: latency
+// distributions with HiveMind against both baselines.
+func BenchmarkFig11_HiveMindLatency(b *testing.B) {
+	rep := runFig(b, "fig11")
+	b.ReportMetric(rep.Value("speedup_mean"), "x-mean-paper1.56")
+	b.ReportMetric(rep.Value("speedup_max"), "x-max-paper2.85")
+}
+
+// BenchmarkFig12_Breakdown regenerates Fig. 12: the per-stage breakdown
+// explaining HiveMind's gains.
+func BenchmarkFig12_Breakdown(b *testing.B) {
+	rep := runFig(b, "fig12")
+	b.ReportMetric(rep.Value("hm_net_frac_mean")*100, "%hm-netfrac-paper9.3")
+}
+
+// BenchmarkFig13_Ablation regenerates Fig. 13: disabling HiveMind's
+// techniques one at a time.
+func BenchmarkFig13_Ablation(b *testing.B) {
+	rep := runFig(b, "fig13")
+	b.ReportMetric(rep.Value("hivemind-noaccel_p50_S1")/rep.Value("hivemind_p50_S1"), "x-noaccel-penalty-S1")
+}
+
+// BenchmarkFig14_PowerBandwidth regenerates Fig. 14: battery and
+// bandwidth across the three platforms.
+func BenchmarkFig14_PowerBandwidth(b *testing.B) {
+	rep := runFig(b, "fig14")
+	b.ReportMetric(rep.Value("battery_distributed-edge_S1")/rep.Value("battery_hivemind_S1"), "x-dist-battery-S1")
+}
+
+// BenchmarkFig15_ContinuousLearning regenerates Fig. 15: detection
+// accuracy under None/Self/Swarm retraining.
+func BenchmarkFig15_ContinuousLearning(b *testing.B) {
+	rep := runFig(b, "fig15")
+	b.ReportMetric(rep.Value("scenario-a_swarm_correct")*100, "%swarm-accuracy")
+	b.ReportMetric(rep.Value("scenario-a_none_correct")*100, "%none-accuracy")
+}
+
+// BenchmarkFig16_RoboticCars regenerates Fig. 16: the rover port.
+func BenchmarkFig16_RoboticCars(b *testing.B) {
+	rep := runFig(b, "fig16")
+	b.ReportMetric(rep.Value("th_latency_gain")*100, "%latency-gain-paper~22+19")
+}
+
+// BenchmarkFig17a_Resolution regenerates Fig. 17a: HiveMind headroom
+// across frame resolutions and rates.
+func BenchmarkFig17a_Resolution(b *testing.B) {
+	rep := runFig(b, "fig17a")
+	b.ReportMetric(rep.Value("headroom_frac")*100, "%wireless-headroom")
+}
+
+// BenchmarkFig17b_Scalability regenerates Fig. 17b: bandwidth and tail
+// latency as the swarm grows to hundreds of devices.
+func BenchmarkFig17b_Scalability(b *testing.B) {
+	rep := runFig(b, "fig17b")
+	b.ReportMetric(rep.Value("hm_bw_growth"), "x-bw-growth")
+	b.ReportMetric(rep.Value("device_growth"), "x-device-growth")
+}
+
+// BenchmarkFig18_SimValidation regenerates Fig. 18: the queueing-model
+// validation against the detailed simulation.
+func BenchmarkFig18_SimValidation(b *testing.B) {
+	rep := runFig(b, "fig18")
+	b.ReportMetric(rep.Value("mean_abs_deviation_pct"), "%mean-dev-paper<5")
+}
+
+// BenchmarkRPCAcceleration regenerates the §4.5 microbenchmark: 2.1 µs
+// 64 B round trips and 12.4 Mrps/core offloaded throughput.
+func BenchmarkRPCAcceleration(b *testing.B) {
+	rep := runFig(b, "ubench-rpc")
+	b.ReportMetric(rep.Value("rtt64_us"), "us-rtt64-paper2.1")
+	b.ReportMetric(rep.Value("rps64_M_unbatched"), "Mrps-paper12.4")
+}
+
+// BenchmarkMonitoringOverhead regenerates the §4.7 check: monitoring
+// costs <0.1% tail latency and <0.15% throughput.
+func BenchmarkMonitoringOverhead(b *testing.B) {
+	rep := runFig(b, "ubench-monitor")
+	b.ReportMetric(rep.Value("tail_overhead_pct"), "%tail-paper<0.1")
+}

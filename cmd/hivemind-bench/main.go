@@ -1,0 +1,47 @@
+// Command hivemind-bench runs the full evaluation sweep (every figure
+// and microbenchmark at paper-scale parameters) and writes a combined
+// report suitable for EXPERIMENTS.md.
+//
+// Usage:
+//
+//	hivemind-bench [-seed 1] [-quick] [-out report.txt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"hivemind/internal/experiments"
+)
+
+func main() {
+	var (
+		seed  = flag.Int64("seed", 1, "random seed")
+		quick = flag.Bool("quick", false, "reduced sweeps")
+		out   = flag.String("out", "", "write the report to this file (default stdout)")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	cfg := experiments.RunConfig{Seed: *seed, Quick: *quick}
+	fmt.Fprintf(w, "HiveMind evaluation sweep (seed=%d quick=%v)\n\n", *seed, *quick)
+	for _, e := range experiments.All() {
+		start := time.Now()
+		rep := e.Run(cfg)
+		fmt.Fprintln(w, rep)
+		fmt.Fprintf(w, "(%s took %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,111 @@
+// Command hivemind-sim runs the paper's evaluation experiments on the
+// simulated swarm and prints the tables each figure plots.
+//
+// Usage:
+//
+//	hivemind-sim -list
+//	hivemind-sim -fig fig01 [-seed 7] [-quick]
+//	hivemind-sim -all [-quick]
+//	hivemind-sim -mission scenario-a -system hivemind -trace out.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hivemind/internal/experiments"
+	"hivemind/internal/platform"
+	"hivemind/internal/scenario"
+	"hivemind/internal/trace"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "experiment id to run (e.g. fig01, fig17b, ubench-rpc)")
+		all     = flag.Bool("all", false, "run every experiment")
+		list    = flag.Bool("list", false, "list available experiments")
+		seed    = flag.Int64("seed", 1, "random seed")
+		quick   = flag.Bool("quick", false, "reduced sweeps for a fast run")
+		mission = flag.String("mission", "", "run one mission: scenario-a, scenario-b, treasure-hunt, maze")
+		system  = flag.String("system", "hivemind", "system for -mission: centralized-iaas, centralized-faas, distributed-edge, hivemind")
+		devices = flag.Int("devices", 16, "swarm size for -mission")
+		traceFn = flag.String("trace", "", "write a Chrome trace of the -mission run to this file")
+	)
+	flag.Parse()
+
+	if *mission != "" {
+		if err := runMission(*mission, *system, *devices, *seed, *traceFn); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	switch {
+	case *list:
+		for _, e := range experiments.All() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+	case *all:
+		cfg := experiments.RunConfig{Seed: *seed, Quick: *quick}
+		for _, e := range experiments.All() {
+			fmt.Println(e.Run(cfg))
+		}
+	case *fig != "":
+		e, ok := experiments.ByID(*fig)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *fig)
+			os.Exit(1)
+		}
+		fmt.Println(e.Run(experiments.RunConfig{Seed: *seed, Quick: *quick}))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// runMission executes one end-to-end mission, optionally tracing it.
+func runMission(mission, system string, devices int, seed int64, traceFn string) error {
+	kinds := map[string]scenario.Kind{
+		"scenario-a": scenario.ScenarioA, "scenario-b": scenario.ScenarioB,
+		"treasure-hunt": scenario.TreasureHunt, "maze": scenario.Maze,
+	}
+	systems := map[string]platform.SystemKind{
+		"centralized-iaas": platform.CentralizedIaaS,
+		"centralized-faas": platform.CentralizedFaaS,
+		"distributed-edge": platform.DistributedEdge,
+		"hivemind":         platform.HiveMind,
+	}
+	kind, ok := kinds[mission]
+	if !ok {
+		return fmt.Errorf("unknown mission %q", mission)
+	}
+	sysKind, ok := systems[system]
+	if !ok {
+		return fmt.Errorf("unknown system %q", system)
+	}
+	opts := platform.Preset(sysKind, devices, seed)
+	var rec *trace.Recorder
+	if traceFn != "" {
+		rec = trace.NewRecorder(0)
+		opts.Trace = rec
+	}
+	cfg := scenario.DefaultConfig(kind, opts)
+	res := scenario.Run(kind, cfg)
+	fmt.Println(res)
+	fmt.Printf("pipeline latency: %s\n", res.TaskLatency.Summarize())
+	fmt.Printf("breakdown: %s\n", res.Breakdown)
+	if rec != nil {
+		f, err := os.Create(traceFn)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rec.WriteChromeTrace(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d spans to %s\n%s", rec.Len(), traceFn, rec.Summary())
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+// People counting: Scenario B end to end — recognize and deduplicate
+// 25 moving people — combined with the continuous-learning study of
+// Fig. 15: how fast does the swarm's recognition accuracy improve when
+// models are retrained with no feedback, each device's own decisions,
+// or the whole swarm's pooled decisions.
+package main
+
+import (
+	"fmt"
+
+	"hivemind"
+	"hivemind/internal/learn"
+)
+
+func main() {
+	fmt.Println("Scenario B — moving people recognition + deduplication")
+	fmt.Println()
+
+	for _, sys := range []hivemind.System{hivemind.SystemCentralizedFaaS, hivemind.SystemDistributedEdge, hivemind.SystemHiveMind} {
+		sw := hivemind.NewSwarm(hivemind.SwarmSpec{Devices: 16, System: sys, Seed: 7})
+		r := sw.RunMission(hivemind.MissionMovingPeople)
+		fmt.Printf("%-18s counted %2d/25 in %6.1fs (complete=%v, battery %.1f%%, pipeline p99 %.2fs)\n",
+			sys, r.Found, r.CompletionS, r.Completed, r.BatteryMean*100,
+			r.TaskLatency.Percentile(99))
+	}
+
+	fmt.Println("\nContinuous learning (Fig. 15): detection accuracy by retraining mode")
+	fmt.Printf("%-8s %10s %10s %10s\n", "mode", "correct%", "falseNeg%", "falsePos%")
+	for _, mode := range []learn.Mode{hivemind.LearnNone, hivemind.LearnSelf, hivemind.LearnSwarm} {
+		acc, traj := hivemind.RunLearningTrial(mode, 16, 7)
+		fmt.Printf("%-8s %10.1f %10.1f %10.1f   (round 1: %.1f%% -> final: %.1f%%)\n",
+			mode, acc.Correct*100, acc.FalseNegatives*100, acc.FalsePositives*100,
+			traj[0].Correct*100, acc.Correct*100)
+	}
+	fmt.Println("\nSwarm-wide retraining converges fastest and eliminates nearly all")
+	fmt.Println("remaining false positives/negatives — the benefit of centralized")
+	fmt.Println("coordination the paper highlights in §4.6.")
+}

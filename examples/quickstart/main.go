@@ -1,0 +1,36 @@
+// Quickstart: assemble a 16-drone HiveMind swarm, run the face
+// recognition benchmark for two minutes, and compare it against the
+// centralized-serverless and distributed-edge baselines.
+package main
+
+import (
+	"fmt"
+
+	"hivemind"
+)
+
+func main() {
+	fmt.Println("HiveMind quickstart: S1 face recognition, 16 drones, 120s")
+	fmt.Println()
+	fmt.Printf("%-18s %8s %8s %8s %10s %9s\n",
+		"system", "p50(s)", "p99(s)", "cv", "battery(%)", "bw(MB/s)")
+
+	for _, sys := range []hivemind.System{
+		hivemind.SystemCentralizedFaaS,
+		hivemind.SystemDistributedEdge,
+		hivemind.SystemHiveMind,
+	} {
+		sw := hivemind.NewSwarm(hivemind.SwarmSpec{Devices: 16, System: sys, Seed: 42})
+		res, err := sw.RunJob(hivemind.JobFaceRecognition, 120)
+		if err != nil {
+			panic(err)
+		}
+		sm := res.Latency.Summarize()
+		fmt.Printf("%-18s %8.3f %8.3f %8.3f %10.1f %9.1f\n",
+			sys, sm.P50, sm.P99, sm.CV, res.BatteryMean*100, res.BWMeanMBps)
+	}
+
+	fmt.Println()
+	fmt.Println("HiveMind should show the lowest latency, battery and a")
+	fmt.Println("wireless footprint between the two baselines (paper Figs. 11/14).")
+}

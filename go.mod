@@ -1,0 +1,3 @@
+module hivemind
+
+go 1.22

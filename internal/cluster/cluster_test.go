@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"testing"
+
+	"hivemind/internal/sim"
+)
+
+func TestNewClusterSizing(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, DefaultConfig())
+	if len(c.Servers()) != 12 {
+		t.Fatalf("servers = %d", len(c.Servers()))
+	}
+	// 40 cores - 4 network-stack cores = 36 usable per server.
+	if c.TotalCores() != 12*36 {
+		t.Fatalf("total cores = %d", c.TotalCores())
+	}
+	if c.Server(0).FreeMemGB() != 192 {
+		t.Fatalf("free mem = %g", c.Server(0).FreeMemGB())
+	}
+}
+
+func TestAccelFreesNetworkCores(t *testing.T) {
+	e := sim.NewEngine(1)
+	cfg := DefaultConfig()
+	cfg.NetStackCoresPerServer = 0 // FPGA offload active
+	c := New(e, cfg)
+	if c.TotalCores() != 12*40 {
+		t.Fatalf("total cores with accel = %d", c.TotalCores())
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	New(sim.NewEngine(1), Config{})
+}
+
+func TestLeastLoadedPrefersFreeCores(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, Config{Servers: 3, CoresPerServer: 4, MemGBPerServer: 8})
+	// Load server 0 fully, server 1 partially.
+	for i := 0; i < 4; i++ {
+		c.Server(0).Cores().Use(100, nil)
+	}
+	c.Server(1).Cores().Use(100, nil)
+	if got := c.LeastLoaded(); got.ID != 2 {
+		t.Fatalf("least loaded = %d, want 2", got.ID)
+	}
+}
+
+func TestLeastLoadedSkipsProbation(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, Config{Servers: 2, CoresPerServer: 4, MemGBPerServer: 8})
+	c.Server(0).Probation(60)
+	if got := c.LeastLoaded(); got.ID != 1 {
+		t.Fatalf("picked probated server %d", got.ID)
+	}
+	// All probated: fall back rather than fail.
+	c.Server(1).Probation(60)
+	if got := c.LeastLoaded(); got == nil {
+		t.Fatal("no server returned when all on probation")
+	}
+	// Probation expires with time.
+	e.RunUntil(61)
+	if c.Server(0).OnProbation() {
+		t.Fatal("probation did not expire")
+	}
+}
+
+func TestMemoryReservation(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, Config{Servers: 1, CoresPerServer: 2, MemGBPerServer: 10})
+	s := c.Server(0)
+	if !s.ReserveMemGB(6) {
+		t.Fatal("first reservation failed")
+	}
+	if s.ReserveMemGB(6) {
+		t.Fatal("over-reservation succeeded")
+	}
+	s.ReleaseMemGB(6)
+	if s.FreeMemGB() != 10 {
+		t.Fatalf("free mem = %g", s.FreeMemGB())
+	}
+}
+
+func TestMemoryOverReleasePanics(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, Config{Servers: 1, CoresPerServer: 2, MemGBPerServer: 10})
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on over-release")
+		}
+	}()
+	c.Server(0).ReleaseMemGB(1)
+}
+
+func TestUtilizationAndMean(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, Config{Servers: 2, CoresPerServer: 4, MemGBPerServer: 8})
+	c.Server(0).Cores().Use(10, nil)
+	c.Server(0).Cores().Use(10, nil)
+	if got := c.Server(0).Utilization(); got != 0.5 {
+		t.Fatalf("utilization = %g", got)
+	}
+	if got := c.MeanUtilization(); got != 0.25 {
+		t.Fatalf("mean utilization = %g", got)
+	}
+}
+
+func TestReservedPoolQueues(t *testing.T) {
+	e := sim.NewEngine(1)
+	p := NewReservedPool(e, 2)
+	if p.Size() != 2 {
+		t.Fatalf("size = %d", p.Size())
+	}
+	done := 0
+	for i := 0; i < 5; i++ {
+		p.Cores().Use(1, func() { done++ })
+	}
+	if p.QueueLen() != 3 {
+		t.Fatalf("queue = %d, want 3", p.QueueLen())
+	}
+	e.Run()
+	if done != 5 {
+		t.Fatalf("done = %d", done)
+	}
+	// 5 jobs × 1s on 2 cores: makespan 3s.
+	if e.Now() != 3 {
+		t.Fatalf("makespan = %g", e.Now())
+	}
+}

@@ -1,0 +1,239 @@
+// Package controller implements HiveMind's centralized controller
+// (§4.2, §4.6): global visibility over cloud and edge resources, a load
+// balancer that partitions work across devices, heartbeat-based failure
+// detection (devices beat once per second; missing beats for more than
+// 3 s marks a device failed), load repartitioning to neighbouring
+// devices with sufficient battery (Fig. 10), a lightweight monitoring
+// system, and hot-standby replicas of the controller process itself
+// (§4.7: "two hot standby copies that can take over in case of a
+// failure").
+package controller
+
+import (
+	"fmt"
+
+	"hivemind/internal/device"
+	"hivemind/internal/geo"
+	"hivemind/internal/sim"
+	"hivemind/internal/stats"
+)
+
+// Config tunes the controller.
+type Config struct {
+	HeartbeatTimeoutS float64 // beats older than this mark the device failed (3 s)
+	CheckPeriodS      float64 // detector scan period
+	// MinBatteryFrac is the remaining-battery fraction a neighbour needs
+	// to absorb repartitioned load ("assuming they have sufficient
+	// battery").
+	MinBatteryFrac float64
+	// Standbys is the number of hot standby controller replicas.
+	Standbys int
+	// FailoverS is the takeover delay when the active replica dies.
+	FailoverS float64
+}
+
+// DefaultConfig matches §4.6/§4.7.
+func DefaultConfig() Config {
+	return Config{
+		HeartbeatTimeoutS: 3,
+		CheckPeriodS:      1,
+		MinBatteryFrac:    0.15,
+		Standbys:          2,
+		FailoverS:         0.5,
+	}
+}
+
+// Controller coordinates a fleet.
+type Controller struct {
+	eng  *sim.Engine
+	cfg  Config
+	flt  device.Fleet
+	regs []geo.Rect
+
+	detector *sim.Ticker
+	handled  map[int]bool // device id -> failure processed
+
+	// Repartition notifications: gainers receive updated routes.
+	onRepartition func(failed int, gainers []int)
+
+	replicas  int
+	active    int // index of the active replica
+	downUntil sim.Time
+
+	monitor *Monitor
+	rrNext  int
+}
+
+// New builds a controller over a fleet with its initial region
+// assignment.
+func New(eng *sim.Engine, cfg Config, fleet device.Fleet, regions []geo.Rect, onRepartition func(failed int, gainers []int)) *Controller {
+	if len(fleet) != len(regions) {
+		panic("controller: fleet/regions size mismatch")
+	}
+	c := &Controller{
+		eng: eng, cfg: cfg, flt: fleet, regs: append([]geo.Rect(nil), regions...),
+		handled:       make(map[int]bool),
+		onRepartition: onRepartition,
+		replicas:      1 + cfg.Standbys,
+		monitor:       NewMonitor(),
+	}
+	c.detector = eng.Every(cfg.CheckPeriodS, 0.05, c.scan)
+	return c
+}
+
+// Monitor returns the controller's metrics registry.
+func (c *Controller) Monitor() *Monitor { return c.monitor }
+
+// Regions returns the current region assignment (failed devices hold
+// zero regions).
+func (c *Controller) Regions() []geo.Rect { return c.regs }
+
+// Available reports whether a controller replica is serving (false only
+// during a failover window).
+func (c *Controller) Available() bool {
+	return c.replicas > 0 && c.eng.Now() >= c.downUntil
+}
+
+// ActiveReplica returns the serving replica's index.
+func (c *Controller) ActiveReplica() int { return c.active }
+
+// KillActiveReplica simulates a controller crash: a hot standby takes
+// over after the failover delay. Returns false when no standby remains.
+func (c *Controller) KillActiveReplica() bool {
+	c.replicas--
+	if c.replicas <= 0 {
+		return false
+	}
+	c.active++
+	c.downUntil = c.eng.Now() + c.cfg.FailoverS
+	return true
+}
+
+// scan is the periodic heartbeat check.
+func (c *Controller) scan() {
+	if !c.Available() {
+		return
+	}
+	now := c.eng.Now()
+	for i, d := range c.flt {
+		if c.handled[i] {
+			continue
+		}
+		stale := now-d.LastHeartbeat() > c.cfg.HeartbeatTimeoutS
+		if d.Failed() || stale {
+			c.handleFailure(i)
+		}
+	}
+}
+
+// handleFailure repartitions the failed device's region among its
+// alive, battery-sufficient neighbours and pushes them updated routes
+// (Fig. 10).
+func (c *Controller) handleFailure(failed int) {
+	c.handled[failed] = true
+	c.monitor.CountEvent("device-failure")
+	if !c.regs[failed].Valid() {
+		return
+	}
+	alive := make([]bool, len(c.flt))
+	for i, d := range c.flt {
+		alive[i] = !d.Failed() && !c.handled[i] &&
+			d.Battery.ConsumedFraction() < 1-c.cfg.MinBatteryFrac
+	}
+	newRegs, gainers := geo.Repartition(c.regs, alive, failed)
+	c.regs = newRegs
+	for _, gi := range gainers {
+		c.flt[gi].AssignRegion(newRegs[gi])
+		c.monitor.CountEvent("route-update")
+	}
+	if c.onRepartition != nil {
+		c.onRepartition(failed, gainers)
+	}
+}
+
+// Stop halts the failure detector.
+func (c *Controller) Stop() { c.detector.Stop() }
+
+// NextDevice is the controller's load balancer: it returns the next
+// alive device, round-robin (the paper's default load_balancer='round
+// robin'), or nil if the whole fleet is down.
+func (c *Controller) NextDevice() *device.Device {
+	n := len(c.flt)
+	for i := 0; i < n; i++ {
+		d := c.flt[(c.rrNext+i)%n]
+		if !d.Failed() {
+			c.rrNext = (c.rrNext + i + 1) % n
+			return d
+		}
+	}
+	return nil
+}
+
+// LeastLoadedDevice returns the alive device with the shortest on-board
+// queue (used when the balancer is configured for load-aware dispatch).
+func (c *Controller) LeastLoadedDevice() *device.Device {
+	var best *device.Device
+	for _, d := range c.flt {
+		if d.Failed() {
+			continue
+		}
+		if best == nil || d.QueueLen() < best.QueueLen() {
+			best = d
+		}
+	}
+	return best
+}
+
+// Monitor is the controller's metrics registry: cheap counters and
+// latency samples whose overhead is negligible (§4.7: <0.1% on tail
+// latency).
+type Monitor struct {
+	counters map[string]int
+	samples  map[string]*stats.Sample
+	enabled  bool
+}
+
+// NewMonitor returns an enabled monitor.
+func NewMonitor() *Monitor {
+	return &Monitor{counters: map[string]int{}, samples: map[string]*stats.Sample{}, enabled: true}
+}
+
+// SetEnabled toggles collection (for overhead experiments).
+func (m *Monitor) SetEnabled(on bool) { m.enabled = on }
+
+// CountEvent increments a named counter.
+func (m *Monitor) CountEvent(name string) {
+	if !m.enabled {
+		return
+	}
+	m.counters[name]++
+}
+
+// Count returns a counter's value.
+func (m *Monitor) Count(name string) int { return m.counters[name] }
+
+// Observe records a latency observation under a name.
+func (m *Monitor) Observe(name string, v float64) {
+	if !m.enabled {
+		return
+	}
+	s, ok := m.samples[name]
+	if !ok {
+		s = &stats.Sample{}
+		m.samples[name] = s
+	}
+	s.Add(v)
+}
+
+// Sample returns the sample recorded under name (empty if none).
+func (m *Monitor) Sample(name string) *stats.Sample {
+	if s, ok := m.samples[name]; ok {
+		return s
+	}
+	return &stats.Sample{}
+}
+
+// String summarises the monitor contents.
+func (m *Monitor) String() string {
+	return fmt.Sprintf("monitor: %d counters, %d samples", len(m.counters), len(m.samples))
+}

@@ -1,0 +1,230 @@
+package controller
+
+import (
+	"math"
+	"testing"
+
+	"hivemind/internal/device"
+	"hivemind/internal/geo"
+	"hivemind/internal/sim"
+)
+
+func fleetWithRegions(eng *sim.Engine, n int) (device.Fleet, []geo.Rect) {
+	fleet := device.NewFleet(eng, n, device.DroneConfig(), nil)
+	regions := geo.Partition(geo.NewField(120, 120), n)
+	for i, d := range fleet {
+		d.AssignRegion(regions[i])
+	}
+	return fleet, regions
+}
+
+func TestFailureDetectionWithin3s(t *testing.T) {
+	eng := sim.NewEngine(1)
+	fleet, regions := fleetWithRegions(eng, 9)
+	var failedID int = -1
+	c := New(eng, DefaultConfig(), fleet, regions, func(failed int, gainers []int) {
+		failedID = failed
+		if len(gainers) == 0 {
+			t.Error("no gainers")
+		}
+	})
+	eng.At(10, func() { fleet[4].Fail() })
+	eng.RunUntil(20)
+	c.Stop()
+	if failedID != 4 {
+		t.Fatalf("failure not detected: %d", failedID)
+	}
+	if c.Monitor().Count("device-failure") != 1 {
+		t.Fatalf("failure count = %d", c.Monitor().Count("device-failure"))
+	}
+}
+
+func TestRepartitionConservesCoverage(t *testing.T) {
+	eng := sim.NewEngine(1)
+	fleet, regions := fleetWithRegions(eng, 16)
+	total := geo.TotalArea(regions)
+	c := New(eng, DefaultConfig(), fleet, regions, nil)
+	eng.At(5, func() { fleet[5].Fail() })
+	eng.RunUntil(15)
+	c.Stop()
+	if got := geo.TotalArea(c.Regions()); math.Abs(got-total) > 1e-6*total {
+		t.Fatalf("coverage area %g != %g after repartition", got, total)
+	}
+	if c.Regions()[5].Valid() {
+		t.Fatal("failed device still owns a region")
+	}
+	// Gainers received updated (larger) regions.
+	if c.Monitor().Count("route-update") == 0 {
+		t.Fatal("no route updates pushed")
+	}
+}
+
+func TestLowBatteryNeighboursSkipped(t *testing.T) {
+	eng := sim.NewEngine(1)
+	fleet, regions := fleetWithRegions(eng, 4)
+	// Drain device 1 to below the battery threshold.
+	fleet[1].Battery.Consume("motion", fleet[1].Battery.Profile().CapacityJ*0.9)
+	var gainers []int
+	c := New(eng, DefaultConfig(), fleet, regions, func(f int, g []int) { gainers = g })
+	eng.At(2, func() { fleet[0].Fail() })
+	eng.RunUntil(10)
+	c.Stop()
+	for _, g := range gainers {
+		if g == 1 {
+			t.Fatal("low-battery device absorbed load")
+		}
+	}
+	if len(gainers) == 0 {
+		t.Fatal("no repartition happened")
+	}
+}
+
+func TestMultipleFailuresHandledOnce(t *testing.T) {
+	eng := sim.NewEngine(1)
+	fleet, regions := fleetWithRegions(eng, 9)
+	events := 0
+	c := New(eng, DefaultConfig(), fleet, regions, func(int, []int) { events++ })
+	eng.At(3, func() { fleet[0].Fail() })
+	eng.At(6, func() { fleet[8].Fail() })
+	eng.RunUntil(30)
+	c.Stop()
+	if events != 2 {
+		t.Fatalf("repartition events = %d, want 2", events)
+	}
+}
+
+func TestStaleHeartbeatDetectedWithoutExplicitFailure(t *testing.T) {
+	// A device whose heartbeats stop (crash without Fail bookkeeping)
+	// must still be declared failed after the 3s timeout.
+	eng := sim.NewEngine(1)
+	fleet, regions := fleetWithRegions(eng, 4)
+	detected := sim.Time(0)
+	c := New(eng, DefaultConfig(), fleet, regions, func(f int, g []int) { detected = eng.Now() })
+	// Fail() stops the beat ticker; use it as the crash, but verify the
+	// detector reacts to staleness: set a custom timeout shorter than
+	// the scan interval to exercise the stale path.
+	eng.At(10, func() { fleet[2].Fail() })
+	eng.RunUntil(30)
+	c.Stop()
+	if detected == 0 {
+		t.Fatal("stale device never detected")
+	}
+	if detected < 10 || detected > 10+DefaultConfig().HeartbeatTimeoutS+2 {
+		t.Fatalf("detected at %g, want shortly after 10", detected)
+	}
+}
+
+func TestHotStandbyFailover(t *testing.T) {
+	eng := sim.NewEngine(1)
+	fleet, regions := fleetWithRegions(eng, 4)
+	c := New(eng, DefaultConfig(), fleet, regions, nil)
+	if !c.Available() || c.ActiveReplica() != 0 {
+		t.Fatal("controller should start available")
+	}
+	// First crash: standby 1 takes over after the failover window.
+	if !c.KillActiveReplica() {
+		t.Fatal("standby should take over")
+	}
+	if c.Available() {
+		t.Fatal("controller available during failover window")
+	}
+	eng.RunUntil(1)
+	if !c.Available() || c.ActiveReplica() != 1 {
+		t.Fatalf("replica = %d available=%v", c.ActiveReplica(), c.Available())
+	}
+	// Two more crashes exhaust the replicas (1 active + 2 standbys).
+	if !c.KillActiveReplica() {
+		t.Fatal("second standby should take over")
+	}
+	if c.KillActiveReplica() {
+		t.Fatal("no replicas left, takeover impossible")
+	}
+	c.Stop()
+}
+
+func TestLoadBalancerRoundRobinSkipsFailed(t *testing.T) {
+	eng := sim.NewEngine(1)
+	fleet, regions := fleetWithRegions(eng, 3)
+	c := New(eng, DefaultConfig(), fleet, regions, nil)
+	defer c.Stop()
+	fleet[1].Fail()
+	seen := map[int]int{}
+	for i := 0; i < 6; i++ {
+		d := c.NextDevice()
+		if d == nil {
+			t.Fatal("no device returned")
+		}
+		seen[d.ID]++
+	}
+	if seen[1] != 0 {
+		t.Fatal("failed device dispatched")
+	}
+	if seen[0] != 3 || seen[2] != 3 {
+		t.Fatalf("unbalanced dispatch: %v", seen)
+	}
+}
+
+func TestLoadBalancerAllFailed(t *testing.T) {
+	eng := sim.NewEngine(1)
+	fleet, regions := fleetWithRegions(eng, 2)
+	c := New(eng, DefaultConfig(), fleet, regions, nil)
+	defer c.Stop()
+	fleet[0].Fail()
+	fleet[1].Fail()
+	if c.NextDevice() != nil {
+		t.Fatal("device returned from dead fleet")
+	}
+	if c.LeastLoadedDevice() != nil {
+		t.Fatal("least-loaded returned from dead fleet")
+	}
+}
+
+func TestLeastLoadedDevice(t *testing.T) {
+	eng := sim.NewEngine(1)
+	fleet, regions := fleetWithRegions(eng, 3)
+	c := New(eng, DefaultConfig(), fleet, regions, nil)
+	defer c.Stop()
+	fleet[0].RunTask(100, func(device.TaskOutcome) {})
+	fleet[0].RunTask(100, func(device.TaskOutcome) {})
+	fleet[2].RunTask(100, func(device.TaskOutcome) {})
+	if d := c.LeastLoadedDevice(); d.ID != 1 {
+		t.Fatalf("least loaded = %d, want 1", d.ID)
+	}
+}
+
+func TestMonitorCountersAndSamples(t *testing.T) {
+	m := NewMonitor()
+	m.CountEvent("x")
+	m.CountEvent("x")
+	m.Observe("lat", 1.5)
+	m.Observe("lat", 2.5)
+	if m.Count("x") != 2 {
+		t.Fatalf("count = %d", m.Count("x"))
+	}
+	if m.Sample("lat").Mean() != 2.0 {
+		t.Fatalf("mean = %g", m.Sample("lat").Mean())
+	}
+	if m.Sample("missing").N() != 0 {
+		t.Fatal("missing sample not empty")
+	}
+	m.SetEnabled(false)
+	m.CountEvent("x")
+	m.Observe("lat", 99)
+	if m.Count("x") != 2 || m.Sample("lat").N() != 2 {
+		t.Fatal("disabled monitor recorded data")
+	}
+	if m.String() == "" {
+		t.Fatal("empty monitor string")
+	}
+}
+
+func TestMismatchedRegionsPanics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	fleet, _ := fleetWithRegions(eng, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	New(eng, DefaultConfig(), fleet, make([]geo.Rect, 2), nil)
+}

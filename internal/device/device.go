@@ -1,0 +1,313 @@
+// Package device models the swarm's edge devices: the Parrot AR-class
+// drones of §2.1 (1 GHz single-core ARM, front + bottom cameras, sensor
+// suite, 4 m/s cruise, ~6.7 m × 8.75 m camera footprint per frame, 8 fps
+// × 2 MB default capture) and the Raspberry Pi robotic cars of §5.5.
+// A Device integrates mobility, sensor-data generation, a bounded
+// on-board executor (one core, drop-on-overflow), battery accounting,
+// heartbeats (1 s period, §4.6) and failure injection.
+package device
+
+import (
+	"fmt"
+
+	"hivemind/internal/energy"
+	"hivemind/internal/geo"
+	"hivemind/internal/sim"
+)
+
+// Kind distinguishes device classes.
+type Kind int
+
+const (
+	Drone Kind = iota
+	Rover
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == Rover {
+		return "rover"
+	}
+	return "drone"
+}
+
+// Config describes a device class.
+type Config struct {
+	Kind        Kind
+	Power       energy.PowerProfile
+	SpeedMps    float64 // cruise speed
+	FrameMB     float64 // camera frame size
+	FPS         float64 // capture rate
+	SwathWidthM float64 // camera ground footprint width (sweep swath)
+	QueueLimit  int     // on-board task queue bound (drop beyond)
+	HeartbeatS  float64 // heartbeat period (§4.6: once per second)
+}
+
+// DroneConfig returns the paper's drone calibration.
+func DroneConfig() Config {
+	return Config{
+		Kind:        Drone,
+		Power:       energy.DroneProfile(),
+		SpeedMps:    4,
+		FrameMB:     2,
+		FPS:         8,
+		SwathWidthM: 6.7,
+		QueueLimit:  3,
+		HeartbeatS:  1,
+	}
+}
+
+// RoverConfig returns the robotic-car calibration (§5.5): slower, bigger
+// battery, same camera class.
+func RoverConfig() Config {
+	return Config{
+		Kind:        Rover,
+		Power:       energy.RoverProfile(),
+		SpeedMps:    1.2,
+		FrameMB:     2,
+		FPS:         8,
+		SwathWidthM: 3.0,
+		QueueLimit:  4,
+		HeartbeatS:  1,
+	}
+}
+
+// Device is one swarm member.
+type Device struct {
+	eng *sim.Engine
+	ID  int
+	cfg Config
+
+	Battery *energy.Battery
+	integ   *energy.Integrator
+
+	cpu     *sim.Resource
+	queued  int
+	dropped int
+
+	region geo.Rect
+	pos    geo.Point
+
+	failed   bool
+	onFailed func(*Device)
+
+	lastBeat sim.Time
+	tick     *sim.Ticker
+}
+
+// New creates a device. onFailed (may be nil) fires once when the device
+// fails — battery depletion or injected fault.
+func New(eng *sim.Engine, id int, cfg Config, onFailed func(*Device)) *Device {
+	d := &Device{eng: eng, ID: id, cfg: cfg, onFailed: onFailed}
+	d.Battery = energy.NewBattery(cfg.Power, func() { d.Fail() })
+	d.integ = energy.NewIntegrator(d.Battery, eng.Now())
+	d.cpu = sim.NewResource(eng, 1)
+	d.lastBeat = eng.Now()
+	// Periodic integration so slow drains (hover, idle CPU) register and
+	// can deplete the battery between discrete events; doubles as the
+	// heartbeat emitter.
+	d.tick = eng.Every(cfg.HeartbeatS, 0, func() {
+		if d.failed {
+			return
+		}
+		d.integ.Advance(eng.Now())
+		if !d.failed {
+			d.lastBeat = eng.Now()
+		}
+	})
+	return d
+}
+
+// Config returns the device's configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Failed reports whether the device is down.
+func (d *Device) Failed() bool { return d.failed }
+
+// LastHeartbeat returns when the device last emitted a heartbeat.
+func (d *Device) LastHeartbeat() sim.Time { return d.lastBeat }
+
+// Region returns the device's assigned coverage region.
+func (d *Device) Region() geo.Rect { return d.region }
+
+// AssignRegion gives the device a coverage region and starts it moving.
+func (d *Device) AssignRegion(r geo.Rect) {
+	d.integ.Advance(d.eng.Now())
+	d.region = r
+	d.pos = r.Center()
+	d.integ.Moving = r.Valid()
+	d.integ.Hovering = !r.Valid() && d.cfg.Kind == Drone
+}
+
+// SetMoving toggles motion (drones hover when not moving).
+func (d *Device) SetMoving(moving bool) {
+	d.integ.Advance(d.eng.Now())
+	d.integ.Moving = moving
+	d.integ.Hovering = !moving && d.cfg.Kind == Drone
+}
+
+// SweepTimeS returns how long covering the assigned region takes.
+func (d *Device) SweepTimeS() float64 {
+	return geo.SweepTime(d.region, d.cfg.SwathWidthM, d.cfg.SpeedMps)
+}
+
+// SensorRateMBps returns the raw capture data rate.
+func (d *Device) SensorRateMBps() float64 { return d.cfg.FrameMB * d.cfg.FPS }
+
+// Fail marks the device as failed (battery or injected fault) exactly
+// once, accounts pending energy, and notifies the owner.
+func (d *Device) Fail() {
+	if d.failed {
+		return
+	}
+	d.integ.Advance(d.eng.Now())
+	d.failed = true
+	d.integ.Moving = false
+	d.integ.Hovering = false
+	d.integ.CPUBusy = false
+	d.tick.Stop()
+	if d.onFailed != nil {
+		d.onFailed(d)
+	}
+}
+
+// TaskOutcome reports an on-board execution.
+type TaskOutcome struct {
+	Dropped bool
+	QueueS  float64
+	ExecS   float64
+}
+
+// RunTask executes a task on the on-board core. If the bounded queue is
+// full the task is dropped (sensor batches are skipped when the device
+// cannot keep up) and done is called immediately with Dropped=true.
+func (d *Device) RunTask(execS float64, done func(TaskOutcome)) {
+	if d.failed {
+		done(TaskOutcome{Dropped: true})
+		return
+	}
+	if d.queued >= d.cfg.QueueLimit {
+		d.dropped++
+		done(TaskOutcome{Dropped: true})
+		return
+	}
+	d.queued++
+	enq := d.eng.Now()
+	d.cpu.Acquire(func() {
+		start := d.eng.Now()
+		if d.failed {
+			d.queued--
+			d.cpu.Release()
+			done(TaskOutcome{Dropped: true, QueueS: start - enq})
+			return
+		}
+		d.integ.Advance(start)
+		d.integ.CPUBusy = true
+		d.eng.After(execS, func() {
+			d.integ.Advance(d.eng.Now())
+			d.queued--
+			d.cpu.Release() // may synchronously start the next queued task
+			d.integ.CPUBusy = d.cpu.InUse() > 0
+			done(TaskOutcome{QueueS: start - enq, ExecS: execS})
+		})
+	})
+}
+
+// QueueLen returns queued-plus-running on-board tasks.
+func (d *Device) QueueLen() int { return d.queued }
+
+// Dropped returns how many tasks overflowed the on-board queue.
+func (d *Device) Dropped() int { return d.dropped }
+
+// Transmit accounts radio energy for sending megabytes to the cloud.
+func (d *Device) Transmit(mb float64) {
+	d.integ.Advance(d.eng.Now())
+	d.Battery.ConsumeTx(mb)
+}
+
+// Receive accounts radio energy for receiving megabytes.
+func (d *Device) Receive(mb float64) {
+	d.integ.Advance(d.eng.Now())
+	d.Battery.ConsumeRx(mb)
+}
+
+// FinishMission stops motion and settles the energy account.
+func (d *Device) FinishMission() {
+	d.SetMoving(false)
+	d.integ.Advance(d.eng.Now())
+}
+
+// Settle forces energy integration up to now (call before reading the
+// battery at the end of an experiment).
+func (d *Device) Settle() {
+	if !d.failed {
+		d.integ.Advance(d.eng.Now())
+	}
+}
+
+// String implements fmt.Stringer.
+func (d *Device) String() string {
+	return fmt.Sprintf("%s-%d (battery %.0f%%, %s)", d.cfg.Kind, d.ID,
+		(1-d.Battery.ConsumedFraction())*100,
+		map[bool]string{true: "failed", false: "ok"}[d.failed])
+}
+
+// Fleet is a convenience collection.
+type Fleet []*Device
+
+// NewFleet builds n devices with ids 0..n-1.
+func NewFleet(eng *sim.Engine, n int, cfg Config, onFailed func(*Device)) Fleet {
+	fleet := make(Fleet, n)
+	for i := range fleet {
+		fleet[i] = New(eng, i, cfg, onFailed)
+	}
+	return fleet
+}
+
+// Alive returns the number of working devices.
+func (f Fleet) Alive() int {
+	n := 0
+	for _, d := range f {
+		if !d.Failed() {
+			n++
+		}
+	}
+	return n
+}
+
+// Settle settles all devices' energy accounts.
+func (f Fleet) Settle() {
+	for _, d := range f {
+		d.Settle()
+	}
+}
+
+// MeanBatteryConsumed returns the average consumed fraction [0,1].
+func (f Fleet) MeanBatteryConsumed() float64 {
+	if len(f) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, d := range f {
+		sum += d.Battery.ConsumedFraction()
+	}
+	return sum / float64(len(f))
+}
+
+// MaxBatteryConsumed returns the worst-case consumed fraction.
+func (f Fleet) MaxBatteryConsumed() float64 {
+	var max float64
+	for _, d := range f {
+		if c := d.Battery.ConsumedFraction(); c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// StopAll halts device periodic work (end of experiment).
+func (f Fleet) StopAll() {
+	for _, d := range f {
+		d.tick.Stop()
+	}
+}

@@ -1,0 +1,225 @@
+package device
+
+import (
+	"math"
+	"testing"
+
+	"hivemind/internal/energy"
+	"hivemind/internal/geo"
+	"hivemind/internal/sim"
+)
+
+func TestDeviceBasics(t *testing.T) {
+	e := sim.NewEngine(1)
+	d := New(e, 3, DroneConfig(), nil)
+	if d.Failed() || d.ID != 3 {
+		t.Fatalf("fresh device state wrong: %s", d)
+	}
+	if d.SensorRateMBps() != 16 { // 8 fps × 2 MB
+		t.Fatalf("sensor rate = %g", d.SensorRateMBps())
+	}
+	if d.Config().Kind.String() != "drone" {
+		t.Fatalf("kind = %s", d.Config().Kind)
+	}
+	if RoverConfig().Kind.String() != "rover" {
+		t.Fatal("rover kind string")
+	}
+}
+
+func TestRunTaskAccountsComputeEnergy(t *testing.T) {
+	e := sim.NewEngine(1)
+	d := New(e, 0, DroneConfig(), nil)
+	var out TaskOutcome
+	d.RunTask(10, func(o TaskOutcome) { out = o })
+	e.RunUntil(20)
+	d.Settle()
+	if out.Dropped || out.ExecS != 10 {
+		t.Fatalf("outcome = %+v", out)
+	}
+	// 10s busy at 30W plus idle-CPU for the rest.
+	busyJ := d.Battery.ConsumedBy(energy.LoadCompute)
+	want := 10*DroneConfig().Power.ComputeBusyW + 10*DroneConfig().Power.ComputeIdleW
+	if math.Abs(busyJ-want) > 1 {
+		t.Fatalf("compute energy = %g, want ~%g", busyJ, want)
+	}
+}
+
+func TestRunTaskQueuesAndDrops(t *testing.T) {
+	e := sim.NewEngine(1)
+	cfg := DroneConfig()
+	cfg.QueueLimit = 2
+	d := New(e, 0, cfg, nil)
+	outcomes := make([]TaskOutcome, 0, 4)
+	for i := 0; i < 4; i++ {
+		d.RunTask(5, func(o TaskOutcome) { outcomes = append(outcomes, o) })
+	}
+	e.RunUntil(30)
+	if len(outcomes) != 4 {
+		t.Fatalf("outcomes = %d", len(outcomes))
+	}
+	dropped := 0
+	for _, o := range outcomes {
+		if o.Dropped {
+			dropped++
+		}
+	}
+	if dropped != 2 || d.Dropped() != 2 {
+		t.Fatalf("dropped = %d (device says %d), want 2", dropped, d.Dropped())
+	}
+	// Second accepted task queued behind the first.
+	var queued bool
+	for _, o := range outcomes {
+		if !o.Dropped && o.QueueS > 0 {
+			queued = true
+		}
+	}
+	if !queued {
+		t.Fatal("no task reported queueing delay")
+	}
+}
+
+func TestBatteryDepletionFailsDevice(t *testing.T) {
+	e := sim.NewEngine(1)
+	cfg := DroneConfig()
+	cfg.Power.CapacityJ = 200 // tiny battery
+	failed := false
+	d := New(e, 0, cfg, func(*Device) { failed = true })
+	d.SetMoving(true) // 50W: dies in ~4s (plus base draw)
+	e.RunUntil(60)
+	if !failed || !d.Failed() {
+		t.Fatal("device did not fail on battery depletion")
+	}
+	if !d.Battery.Empty() {
+		t.Fatal("battery not empty")
+	}
+	// Death must occur near the 200J/58W ≈ 3.5s mark, detected by the
+	// periodic integrator within ~1s.
+	if d.Battery.ConsumedJ() != 200 {
+		t.Fatalf("consumed %g J", d.Battery.ConsumedJ())
+	}
+}
+
+func TestInjectedFailureFiresOnce(t *testing.T) {
+	e := sim.NewEngine(1)
+	count := 0
+	d := New(e, 0, DroneConfig(), func(*Device) { count++ })
+	d.Fail()
+	d.Fail()
+	if count != 1 {
+		t.Fatalf("onFailed fired %d times", count)
+	}
+	var out TaskOutcome
+	d.RunTask(1, func(o TaskOutcome) { out = o })
+	if !out.Dropped {
+		t.Fatal("failed device accepted a task")
+	}
+}
+
+func TestHeartbeatStopsOnFailure(t *testing.T) {
+	e := sim.NewEngine(1)
+	d := New(e, 0, DroneConfig(), nil)
+	e.RunUntil(5.5)
+	if beat := d.LastHeartbeat(); beat < 4.5 {
+		t.Fatalf("last heartbeat %g, want ~5", beat)
+	}
+	d.Fail()
+	failAt := e.Now()
+	e.RunUntil(20)
+	if d.LastHeartbeat() > failAt {
+		t.Fatal("failed device kept beating")
+	}
+}
+
+func TestAssignRegionAndSweepTime(t *testing.T) {
+	e := sim.NewEngine(1)
+	d := New(e, 0, DroneConfig(), nil)
+	d.AssignRegion(geo.Rect{X0: 0, Y0: 0, X1: 30, Y1: 30})
+	if d.SweepTimeS() <= 0 {
+		t.Fatal("sweep time should be positive")
+	}
+	if !d.Region().Valid() {
+		t.Fatal("region not stored")
+	}
+	// Moving for the sweep duration consumes motion energy.
+	e.RunUntil(10)
+	d.Settle()
+	if d.Battery.ConsumedBy(energy.LoadMotion) <= 0 {
+		t.Fatal("no motion energy while sweeping")
+	}
+}
+
+func TestTransmitReceiveEnergy(t *testing.T) {
+	e := sim.NewEngine(1)
+	d := New(e, 0, DroneConfig(), nil)
+	d.Transmit(10)
+	d.Receive(10)
+	want := 10*DroneConfig().Power.TxJPerMB + 10*DroneConfig().Power.RxJPerMB
+	if got := d.Battery.ConsumedBy(energy.LoadRadio); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("radio energy = %g, want %g", got, want)
+	}
+}
+
+func TestDistributedDrainsFasterThanCentralizedShape(t *testing.T) {
+	// Fig. 14a mechanism: for a heavy job, 120s of on-board compute
+	// drains more battery than 120s of shipping the same sensor data.
+	runDistributed := func() float64 {
+		e := sim.NewEngine(1)
+		d := New(e, 0, DroneConfig(), nil)
+		d.SetMoving(true)
+		var submit func()
+		submit = func() {
+			d.RunTask(3.5, func(TaskOutcome) {})
+			if e.Now() < 120 {
+				e.After(1, submit)
+			}
+		}
+		e.At(0, submit)
+		e.RunUntil(120)
+		d.FinishMission()
+		return d.Battery.ConsumedFraction()
+	}
+	runCentralized := func() float64 {
+		e := sim.NewEngine(1)
+		d := New(e, 0, DroneConfig(), nil)
+		d.SetMoving(true)
+		var ship func()
+		ship = func() {
+			d.Transmit(8) // 8 MB/s offload
+			if e.Now() < 120 {
+				e.After(1, ship)
+			}
+		}
+		e.At(0, ship)
+		e.RunUntil(120)
+		d.FinishMission()
+		return d.Battery.ConsumedFraction()
+	}
+	dist, cent := runDistributed(), runCentralized()
+	if dist <= cent {
+		t.Fatalf("distributed %.3f should drain more than centralized %.3f", dist, cent)
+	}
+}
+
+func TestFleetHelpers(t *testing.T) {
+	e := sim.NewEngine(1)
+	f := NewFleet(e, 4, DroneConfig(), nil)
+	if f.Alive() != 4 {
+		t.Fatalf("alive = %d", f.Alive())
+	}
+	f[1].Fail()
+	if f.Alive() != 3 {
+		t.Fatalf("alive after failure = %d", f.Alive())
+	}
+	f[0].Transmit(100)
+	f.Settle()
+	if f.MeanBatteryConsumed() <= 0 {
+		t.Fatal("mean battery should be positive")
+	}
+	if f.MaxBatteryConsumed() < f.MeanBatteryConsumed() {
+		t.Fatal("max < mean")
+	}
+	f.StopAll()
+	if f[2].String() == "" {
+		t.Fatal("empty device string")
+	}
+}

@@ -1,0 +1,190 @@
+package dsl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token types.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokComma
+	tokEquals
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	num  float64
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "EOF"
+	case tokString:
+		return fmt.Sprintf("%q", t.text)
+	case tokNumber:
+		return strconv.FormatFloat(t.num, 'g', -1, 64)
+	default:
+		return t.text
+	}
+}
+
+// lexer tokenizes DSL source. Comments run from '#' to end of line.
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1}
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() rune {
+	r := l.peek()
+	l.pos++
+	if r == '\n' {
+		l.line++
+	}
+	return r
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.' || r == '/' || r == ':'
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	for {
+		r := l.peek()
+		switch {
+		case r == 0:
+			return token{kind: tokEOF, line: l.line}, nil
+		case r == '#':
+			for l.peek() != '\n' && l.peek() != 0 {
+				l.advance()
+			}
+		case unicode.IsSpace(r):
+			l.advance()
+		default:
+			goto scan
+		}
+	}
+scan:
+	line := l.line
+	r := l.peek()
+	switch {
+	case r == '(':
+		l.advance()
+		return token{kind: tokLParen, text: "(", line: line}, nil
+	case r == ')':
+		l.advance()
+		return token{kind: tokRParen, text: ")", line: line}, nil
+	case r == '[':
+		l.advance()
+		return token{kind: tokLBracket, text: "[", line: line}, nil
+	case r == ']':
+		l.advance()
+		return token{kind: tokRBracket, text: "]", line: line}, nil
+	case r == ',':
+		l.advance()
+		return token{kind: tokComma, text: ",", line: line}, nil
+	case r == '=':
+		l.advance()
+		return token{kind: tokEquals, text: "=", line: line}, nil
+	case r == '\'' || r == '"':
+		quote := l.advance()
+		var sb strings.Builder
+		for {
+			c := l.peek()
+			if c == 0 || c == '\n' {
+				return token{}, fmt.Errorf("line %d: unterminated string", line)
+			}
+			l.advance()
+			if c == quote {
+				return token{kind: tokString, text: sb.String(), line: line}, nil
+			}
+			if c == '\\' {
+				esc := l.advance()
+				switch esc {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case '\\', '\'', '"':
+					sb.WriteRune(esc)
+				default:
+					return token{}, fmt.Errorf("line %d: bad escape \\%c", line, esc)
+				}
+				continue
+			}
+			sb.WriteRune(c)
+		}
+	case unicode.IsDigit(r) || r == '-' || r == '+':
+		var sb strings.Builder
+		sb.WriteRune(l.advance())
+		for unicode.IsDigit(l.peek()) || l.peek() == '.' || l.peek() == 'e' || l.peek() == 'E' {
+			sb.WriteRune(l.advance())
+		}
+		// Numbers may carry unit suffixes ("10s", "250ms"): lex the
+		// suffix into the text and let the analyzer interpret it.
+		for isIdentStart(l.peek()) {
+			sb.WriteRune(l.advance())
+		}
+		text := sb.String()
+		if n, err := strconv.ParseFloat(text, 64); err == nil {
+			return token{kind: tokNumber, text: text, num: n, line: line}, nil
+		}
+		// Unit-suffixed: return as string-ish number token.
+		return token{kind: tokString, text: text, line: line}, nil
+	case isIdentStart(r):
+		var sb strings.Builder
+		for isIdentRune(l.peek()) {
+			sb.WriteRune(l.advance())
+		}
+		return token{kind: tokIdent, text: sb.String(), line: line}, nil
+	default:
+		return token{}, fmt.Errorf("line %d: unexpected character %q", line, r)
+	}
+}
+
+// lexAll tokenizes the whole source.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBatteryConsumeAndAttribution(t *testing.T) {
+	b := NewBattery(PowerProfile{CapacityJ: 100}, nil)
+	b.Consume(LoadMotion, 30)
+	b.Consume(LoadCompute, 20)
+	if b.ConsumedJ() != 50 || b.ConsumedFraction() != 0.5 || b.RemainingJ() != 50 {
+		t.Fatalf("state: %s", b)
+	}
+	if b.ConsumedBy(LoadMotion) != 30 || b.ConsumedBy(LoadCompute) != 20 {
+		t.Fatal("attribution wrong")
+	}
+	if b.Empty() {
+		t.Fatal("not empty yet")
+	}
+}
+
+func TestBatteryEmptyCallbackFiresOnce(t *testing.T) {
+	fires := 0
+	b := NewBattery(PowerProfile{CapacityJ: 10}, func() { fires++ })
+	b.Consume(LoadMotion, 8)
+	b.Consume(LoadMotion, 5) // crosses capacity
+	b.Consume(LoadMotion, 5) // already empty: no-op
+	if fires != 1 {
+		t.Fatalf("onEmpty fired %d times", fires)
+	}
+	if !b.Empty() || b.ConsumedJ() != 10 {
+		t.Fatalf("consumed %g, empty=%v", b.ConsumedJ(), b.Empty())
+	}
+	if b.ConsumedFraction() != 1.0 {
+		t.Fatalf("fraction = %g", b.ConsumedFraction())
+	}
+}
+
+func TestBatteryClampsAtCapacity(t *testing.T) {
+	b := NewBattery(PowerProfile{CapacityJ: 10}, nil)
+	b.Consume(LoadRadio, 25)
+	if b.ConsumedJ() != 10 || b.ConsumedBy(LoadRadio) != 10 {
+		t.Fatalf("overdrain: %g", b.ConsumedJ())
+	}
+}
+
+func TestBatteryNegativeAndZeroNoop(t *testing.T) {
+	b := NewBattery(PowerProfile{CapacityJ: 10}, nil)
+	b.Consume(LoadMotion, 0)
+	b.Consume(LoadMotion, -5)
+	if b.ConsumedJ() != 0 {
+		t.Fatalf("consumed %g from no-op drains", b.ConsumedJ())
+	}
+}
+
+func TestConsumeTxRxUseProfileRates(t *testing.T) {
+	p := PowerProfile{CapacityJ: 1000, TxJPerMB: 2, RxJPerMB: 0.5}
+	b := NewBattery(p, nil)
+	b.ConsumeTx(10)
+	b.ConsumeRx(10)
+	if b.ConsumedBy(LoadRadio) != 25 {
+		t.Fatalf("radio energy = %g, want 25", b.ConsumedBy(LoadRadio))
+	}
+}
+
+func TestConsumePower(t *testing.T) {
+	b := NewBattery(PowerProfile{CapacityJ: 1000}, nil)
+	b.ConsumePower(LoadCompute, 5, 4)
+	if b.ConsumedBy(LoadCompute) != 20 {
+		t.Fatalf("compute energy = %g", b.ConsumedBy(LoadCompute))
+	}
+}
+
+func TestIntegratorChargesByActivity(t *testing.T) {
+	p := PowerProfile{CapacityJ: 1e6, MoveW: 50, HoverW: 45, ComputeBusyW: 30, ComputeIdleW: 2, BaseW: 4, RadioW: 1}
+	b := NewBattery(p, nil)
+	it := NewIntegrator(b, 0)
+	it.Moving = true
+	it.CPUBusy = false
+	it.Advance(10) // 10s moving, idle cpu
+	wantMotion := 500.0
+	wantCompute := 20.0
+	wantBase := 50.0
+	if b.ConsumedBy(LoadMotion) != wantMotion {
+		t.Fatalf("motion = %g", b.ConsumedBy(LoadMotion))
+	}
+	if b.ConsumedBy(LoadCompute) != wantCompute {
+		t.Fatalf("compute = %g", b.ConsumedBy(LoadCompute))
+	}
+	if b.ConsumedBy(LoadBase) != wantBase {
+		t.Fatalf("base = %g", b.ConsumedBy(LoadBase))
+	}
+	it.Moving = false
+	it.Hovering = true
+	it.CPUBusy = true
+	it.Advance(20) // 10s hover + busy
+	if got := b.ConsumedBy(LoadMotion); got != wantMotion+450 {
+		t.Fatalf("motion after hover = %g", got)
+	}
+	if got := b.ConsumedBy(LoadCompute); got != wantCompute+300 {
+		t.Fatalf("compute after busy = %g", got)
+	}
+}
+
+func TestIntegratorIgnoresTimeTravel(t *testing.T) {
+	b := NewBattery(PowerProfile{CapacityJ: 100, MoveW: 10}, nil)
+	it := NewIntegrator(b, 5)
+	it.Moving = true
+	it.Advance(3) // before start: no-op
+	if b.ConsumedJ() != 0 {
+		t.Fatalf("consumed %g for negative interval", b.ConsumedJ())
+	}
+}
+
+func TestProfilesShapeMatchesPaper(t *testing.T) {
+	d, r := DroneProfile(), RoverProfile()
+	// Drones are power constrained: flying dominates, small battery.
+	if d.MoveW <= d.ComputeBusyW {
+		t.Fatal("drone motion should dominate compute")
+	}
+	// Rovers are less power-constrained (§5.5): bigger battery, cheaper
+	// motion relative to capacity.
+	droneBudget := d.CapacityJ / d.MoveW // seconds of motion
+	roverBudget := r.CapacityJ / r.MoveW
+	if roverBudget <= droneBudget {
+		t.Fatalf("rover endurance (%gs) should exceed drone endurance (%gs)", roverBudget, droneBudget)
+	}
+	// On-board compute must be expensive relative to radio for heavy
+	// data rates to reproduce Fig. 14a's distributed-vs-centralized gap:
+	// at the default 16 MB/s sensor rate, radio energy/s must be below
+	// busy-compute watts so distributed drains faster for heavy jobs.
+	radioWattsAt16MBps := 16 * d.TxJPerMB
+	if radioWattsAt16MBps >= d.ComputeBusyW {
+		t.Fatalf("radio %gW at 16MB/s should be below busy compute %gW",
+			radioWattsAt16MBps, d.ComputeBusyW)
+	}
+}
+
+// Property: consumption is monotone non-decreasing and never exceeds
+// capacity regardless of the drain sequence.
+func TestBatteryInvariantProperty(t *testing.T) {
+	prop := func(drains []float64) bool {
+		b := NewBattery(PowerProfile{CapacityJ: 50}, nil)
+		prev := 0.0
+		for i, d := range drains {
+			if math.IsNaN(d) || math.IsInf(d, 0) {
+				continue
+			}
+			b.Consume(AllLoads[i%len(AllLoads)], d)
+			if b.ConsumedJ() < prev || b.ConsumedJ() > 50+1e-9 {
+				return false
+			}
+			prev = b.ConsumedJ()
+		}
+		var byLoad float64
+		for _, l := range AllLoads {
+			byLoad += b.ConsumedBy(l)
+		}
+		return math.Abs(byLoad-b.ConsumedJ()) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"hivemind/internal/apps"
+	"hivemind/internal/platform"
+	"hivemind/internal/scenario"
+)
+
+// jobDuration returns the per-job run length: the paper uses 120 s.
+func jobDuration(cfg RunConfig) float64 {
+	if cfg.Quick {
+		return 30
+	}
+	return 120
+}
+
+// suite returns the benchmark list, trimmed in quick mode to one
+// representative per behaviour class (heavy CNN, light, pinned-edge,
+// short-task, long-task, wide-fanout).
+func suite(cfg RunConfig) []apps.Profile {
+	all := apps.All()
+	if !cfg.Quick {
+		return all
+	}
+	keep := map[apps.ID]bool{
+		apps.S1FaceRecognition: true,
+		apps.S3DroneDetection:  true,
+		apps.S4ObstacleAvoid:   true,
+		apps.S6Maze:            true,
+		apps.S7Weather:         true,
+		apps.S10SLAM:           true,
+	}
+	var out []apps.Profile
+	for _, p := range all {
+		if keep[p.ID] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// runJobOn builds a fresh system of the kind and runs the job.
+func runJobOn(kind platform.SystemKind, p apps.Profile, cfg RunConfig, devices int) platform.JobResult {
+	sys := platform.NewSystem(platform.Preset(kind, devices, cfg.Seed))
+	return sys.RunJob(p, jobDuration(cfg))
+}
+
+// runScenarioOn runs a mission on a fresh system of the kind.
+func runScenarioOn(kind scenario.Kind, sysKind platform.SystemKind, cfg RunConfig, devices int) scenario.Result {
+	sc := scenario.DefaultConfig(kind, platform.Preset(sysKind, devices, cfg.Seed))
+	if cfg.Quick {
+		sc.MaxDurationS = 200
+	}
+	return scenario.Run(kind, sc)
+}
+
+// defaultDevices is the paper's drone-swarm size.
+const defaultDevices = 16
+
+// roverDevices is the paper's car-swarm size.
+const roverDevices = 14

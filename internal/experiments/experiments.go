@@ -1,0 +1,107 @@
+// Package experiments contains one driver per table/figure in the
+// HiveMind evaluation (Figs. 1, 3–6, 11–18 plus the §4.5 and §4.7
+// microbenchmarks). Each driver runs the relevant systems on the
+// simulated swarm and renders the same rows/series the paper plots,
+// along with named scalar findings that the tests and EXPERIMENTS.md
+// assert against the paper's claims.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hivemind/internal/stats"
+)
+
+// RunConfig tunes experiment execution.
+type RunConfig struct {
+	// Seed drives all randomness; the same seed reproduces the run.
+	Seed int64
+	// Quick shrinks durations/sweeps for tests and CI; full mode uses
+	// paper-scale parameters.
+	Quick bool
+}
+
+// Report is an experiment's output.
+type Report struct {
+	ID     string
+	Title  string
+	Tables []*stats.Table
+	// Values holds named scalar findings (e.g. "hivemind_speedup_mean")
+	// for programmatic assertions.
+	Values map[string]float64
+	Notes  []string
+}
+
+// Value returns a named finding (0 if absent).
+func (r *Report) Value(name string) float64 { return r.Values[name] }
+
+// SetValue records a named finding.
+func (r *Report) SetValue(name string, v float64) {
+	if r.Values == nil {
+		r.Values = map[string]float64{}
+	}
+	r.Values[name] = v
+}
+
+// AddNote appends a human-readable observation.
+func (r *Report) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the full report.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		sb.WriteString(t.String())
+		sb.WriteByte('\n')
+	}
+	if len(r.Values) > 0 {
+		keys := make([]string, 0, len(r.Values))
+		for k := range r.Values {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sb.WriteString("findings:\n")
+		for _, k := range keys {
+			fmt.Fprintf(&sb, "  %-40s %.4g\n", k, r.Values[k])
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// Experiment is a runnable paper figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg RunConfig) *Report
+}
+
+var registry []Experiment
+
+func register(id, title string, run func(RunConfig) *Report) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// All returns every experiment in figure order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

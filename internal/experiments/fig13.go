@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"hivemind/internal/platform"
+	"hivemind/internal/scenario"
+	"hivemind/internal/stats"
+	"hivemind/internal/store"
+)
+
+func init() {
+	register("fig13", "Ablation: disabling HiveMind components one at a time", fig13)
+	register("fig14", "Battery and wireless bandwidth across the three platforms", fig14)
+}
+
+// ablation builds the six Fig. 13 configurations.
+func ablationConfigs(seed int64) []struct {
+	name string
+	opts platform.Options
+} {
+	mk := func(name string, f func(*platform.Options)) struct {
+		name string
+		opts platform.Options
+	} {
+		o := platform.Preset(platform.HiveMind, defaultDevices, seed)
+		f(&o)
+		return struct {
+			name string
+			opts platform.Options
+		}{name, o}
+	}
+	return []struct {
+		name string
+		opts platform.Options
+	}{
+		mk("hivemind", func(o *platform.Options) {}),
+		// Centralized with network acceleration only.
+		mk("centr-netaccel", func(o *platform.Options) {
+			o.HybridPlacement = false
+			o.RemoteMemAccel = false
+			o.FaasCfg.Protocol = store.ProtoCouchDB
+			o.FaasCfg.Fabric = nil
+		}),
+		// Centralized with network + remote-memory acceleration.
+		mk("centr-net+rmem", func(o *platform.Options) {
+			o.HybridPlacement = false
+		}),
+		// Fully distributed, no acceleration.
+		mk("distributed", func(o *platform.Options) {
+			o.Kind = platform.DistributedEdge
+			o.NetAccel = false
+			o.RemoteMemAccel = false
+			o.HybridPlacement = false
+		}),
+		// Distributed with RPC acceleration for result upload.
+		mk("distr-netaccel", func(o *platform.Options) {
+			o.Kind = platform.DistributedEdge
+			o.RemoteMemAccel = false
+			o.HybridPlacement = false
+		}),
+		// HiveMind software-only: hybrid execution without the FPGA.
+		mk("hivemind-noaccel", func(o *platform.Options) {
+			o.NetAccel = false
+			o.RemoteMemAccel = false
+			o.FaasCfg.Protocol = store.ProtoCouchDB
+			o.FaasCfg.Fabric = nil
+		}),
+	}
+}
+
+// fig13 reproduces Fig. 13: median and p99 latency per job as
+// HiveMind's techniques are disabled individually.
+func fig13(cfg RunConfig) *Report {
+	rep := &Report{ID: "fig13", Title: "Component ablation (Fig. 13)"}
+	tb := stats.NewTable("Fig. 13: task latency (s)", "job", "config", "p50", "p99")
+	configs := ablationConfigs(cfg.Seed)
+	for _, p := range suite(cfg) {
+		for _, c := range configs {
+			res := platform.NewSystem(c.opts).RunJob(p, jobDuration(cfg))
+			tb.AddRow(string(p.ID), c.name, res.Latency.Median(), res.Latency.Percentile(99))
+			rep.SetValue(c.name+"_p50_"+string(p.ID), res.Latency.Median())
+		}
+	}
+	rep.Tables = append(rep.Tables, tb)
+	rep.AddNote("no single technique matches the full stack: HiveMind ≤ every ablation for the heavy jobs (paper §5.1)")
+	return rep
+}
+
+// fig14 reproduces Fig. 14: consumed battery and wireless bandwidth for
+// the three platforms across jobs and scenarios.
+func fig14(cfg RunConfig) *Report {
+	rep := &Report{ID: "fig14", Title: "Battery and bandwidth (Fig. 14)"}
+	tb := stats.NewTable("Fig. 14: battery (mean %) and bandwidth (MB/s)",
+		"job", "system", "battery_%", "battery_max_%", "bw_MBps", "bw_p99_MBps")
+	kinds := []platform.SystemKind{platform.CentralizedFaaS, platform.DistributedEdge, platform.HiveMind}
+	for _, p := range suite(cfg) {
+		for _, k := range kinds {
+			res := runJobOn(k, p, cfg, defaultDevices)
+			tb.AddRow(string(p.ID), k.String(), res.BatteryMean*100, res.BatteryMax*100, res.BWMeanMBps, res.BWp99MBps)
+			rep.SetValue("battery_"+k.String()+"_"+string(p.ID), res.BatteryMean)
+			rep.SetValue("bw_"+k.String()+"_"+string(p.ID), res.BWMeanMBps)
+		}
+	}
+	for _, sk := range []scenario.Kind{scenario.ScenarioA, scenario.ScenarioB} {
+		for _, k := range kinds {
+			r := runScenarioOn(sk, k, cfg, defaultDevices)
+			tb.AddRow(sk.String(), k.String(), r.BatteryMean*100, r.BatteryMax*100, r.BWMeanMBps, r.BWp99MBps)
+			rep.SetValue("battery_"+k.String()+"_"+sk.String(), r.BatteryMean)
+			rep.SetValue("bw_"+k.String()+"_"+sk.String(), r.BWMeanMBps)
+		}
+	}
+	rep.Tables = append(rep.Tables, tb)
+	rep.AddNote("distributed drains batteries fastest; HiveMind sits lowest except the light jobs; HiveMind bandwidth is between distributed and centralized (paper §5.2–5.3)")
+	return rep
+}

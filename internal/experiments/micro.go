@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"hivemind/internal/accel"
+	"hivemind/internal/apps"
+	"hivemind/internal/platform"
+	"hivemind/internal/stats"
+)
+
+func init() {
+	register("ubench-rpc", "§4.5 microbenchmark: accelerated RPC round-trip latency and per-core throughput", ubenchRPC)
+	register("ubench-monitor", "§4.7 microbenchmark: monitoring-system overhead on tail latency and throughput", ubenchMonitor)
+}
+
+// ubenchRPC reproduces the §4.5 numbers: "2.1us round trip latencies
+// between cloud servers connected to the same ToR switch, and a max
+// throughput with a single CPU core of 12.4Mrps for 64B RPCs".
+func ubenchRPC(cfg RunConfig) *Report {
+	rep := &Report{ID: "ubench-rpc", Title: "FPGA RPC fabric microbenchmark (§4.5)"}
+	fab := accel.NewFabric()
+	tb := stats.NewTable("§4.5: offloaded RPC fabric",
+		"msg_bytes", "rtt_us", "throughput_Mrps_per_core")
+	for _, size := range []float64{64, 256, 1024, 4096, 65536} {
+		rtt := fab.RPCRoundTripS(size) * 1e6
+		thr := fab.RPCThroughputRps(size) / 1e6
+		tb.AddRow(size, rtt, thr)
+	}
+	rep.Tables = append(rep.Tables, tb)
+	rep.SetValue("rtt64_us", fab.RPCRoundTripS(64)*1e6)
+	rep.SetValue("rps64_M", fab.RPCThroughputRps(64)/1e6)
+
+	// Software path for contrast.
+	swCfg := accel.SoftConfig{CCIPBatch: 1, TxQueues: 1, RxQueues: 1, QueueDepth: 64, ActiveFlows: 1}
+	if err := fab.ApplySoft(swCfg); err != nil {
+		rep.AddNote("soft reconfig failed: %v", err)
+	}
+	rep.SetValue("rps64_M_unbatched", fab.RPCThroughputRps(64)/1e6)
+	rep.AddNote("64B RPCs: %.2fµs RTT, %.1f Mrps/core (paper: 2.1µs, 12.4 Mrps)",
+		rep.Value("rtt64_us"), rep.Value("rps64_M_unbatched"))
+	return rep
+}
+
+// ubenchMonitor reproduces the §4.7 check: the monitoring system has
+// "no meaningful impact on performance; less than 0.1% on tail latency,
+// and less than 0.15% on throughput".
+func ubenchMonitor(cfg RunConfig) *Report {
+	rep := &Report{ID: "ubench-monitor", Title: "Monitoring overhead (§4.7)"}
+	p, _ := apps.ByID(apps.S1FaceRecognition) // cloud-placed under HiveMind
+	run := func(overhead float64) (p99 float64, throughput float64) {
+		opts := platform.Preset(platform.HiveMind, defaultDevices, cfg.Seed)
+		opts.FaasCfg.MonitoringOverhead = overhead
+		res := platform.NewSystem(opts).RunJob(p, jobDuration(cfg))
+		return res.Latency.Percentile(99), float64(res.Completed) / jobDuration(cfg)
+	}
+	offP99, offThr := run(0)
+	onP99, onThr := run(0.001)
+	tb := stats.NewTable("§4.7: monitoring overhead",
+		"monitoring", "p99_s", "throughput_tps")
+	tb.AddRow("off", offP99, offThr)
+	tb.AddRow("on", onP99, onThr)
+	rep.Tables = append(rep.Tables, tb)
+	latPct := (onP99 - offP99) / offP99 * 100
+	thrPct := (offThr - onThr) / offThr * 100
+	rep.SetValue("tail_overhead_pct", latPct)
+	rep.SetValue("throughput_overhead_pct", thrPct)
+	rep.AddNote("monitoring adds %.3f%% to p99 and costs %.3f%% throughput (paper: <0.1%% and <0.15%%)", latPct, thrPct)
+	return rep
+}

@@ -1,0 +1,111 @@
+package faas
+
+import (
+	"hivemind/internal/cluster"
+	"hivemind/internal/sim"
+)
+
+// container is a warm or running function container pinned to a server.
+// Two containers may share a server but never a logical core (§4.3); the
+// core itself is acquired from the server's core resource per execution.
+type container struct {
+	fn        string
+	server    *cluster.Server
+	memGB     float64
+	idleTimer *sim.Timer
+	dead      bool
+	born      sim.Time
+	uses      int
+}
+
+// warmPool tracks idle containers per function name, with keep-alive
+// expiry (§4.3: "HiveMind does not immediately terminate an idling
+// container... between 10 and 30 seconds").
+type warmPool struct {
+	eng       *sim.Engine
+	keepAlive sim.Time
+	idle      map[string][]*container
+
+	// counters
+	hits    int
+	misses  int
+	expired int
+}
+
+func newWarmPool(eng *sim.Engine, keepAlive sim.Time) *warmPool {
+	return &warmPool{eng: eng, keepAlive: keepAlive, idle: make(map[string][]*container)}
+}
+
+// take returns a warm container for fn, or nil.
+func (w *warmPool) take(fn string) *container {
+	list := w.idle[fn]
+	for len(list) > 0 {
+		c := list[len(list)-1]
+		list = list[:len(list)-1]
+		if c.dead {
+			continue
+		}
+		if c.idleTimer != nil {
+			c.idleTimer.Cancel()
+			c.idleTimer = nil
+		}
+		w.idle[fn] = list
+		w.hits++
+		c.uses++
+		return c
+	}
+	w.idle[fn] = list
+	w.misses++
+	return nil
+}
+
+// takeSpecific removes a particular idle container from the pool,
+// reporting success. Used for parent-container colocation.
+func (w *warmPool) takeSpecific(c *container) bool {
+	if c == nil || c.dead {
+		return false
+	}
+	list := w.idle[c.fn]
+	for i, cand := range list {
+		if cand == c {
+			w.idle[c.fn] = append(list[:i], list[i+1:]...)
+			if c.idleTimer != nil {
+				c.idleTimer.Cancel()
+				c.idleTimer = nil
+			}
+			w.hits++
+			c.uses++
+			return true
+		}
+	}
+	return false
+}
+
+// put parks a container as idle; it self-terminates (releasing memory)
+// after the keep-alive window unless taken first. A keep-alive of zero
+// terminates immediately (OpenWhisk's default short-lived behaviour).
+func (w *warmPool) put(c *container) {
+	if c.dead {
+		return
+	}
+	if w.keepAlive <= 0 {
+		w.kill(c)
+		return
+	}
+	w.idle[c.fn] = append(w.idle[c.fn], c)
+	c.idleTimer = w.eng.After(w.keepAlive, func() {
+		w.expired++
+		w.kill(c)
+	})
+}
+
+func (w *warmPool) kill(c *container) {
+	if c.dead {
+		return
+	}
+	c.dead = true
+	c.server.ReleaseMemGB(c.memGB)
+}
+
+// stats returns (hits, misses, expired).
+func (w *warmPool) stats() (int, int, int) { return w.hits, w.misses, w.expired }

@@ -1,0 +1,227 @@
+package geo
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Grid is an occupancy grid over a field: true cells are blocked by
+// obstacles. Scenario A derives drone routes on such a grid with A*
+// (§2.1); the rover Maze scenario navigates a walled grid.
+type Grid struct {
+	Cols, Rows int
+	CellSize   float64 // meters per cell
+	blocked    []bool
+}
+
+// NewGrid creates an all-free grid.
+func NewGrid(cols, rows int, cellSize float64) *Grid {
+	if cols <= 0 || rows <= 0 || cellSize <= 0 {
+		panic("geo: invalid grid dimensions")
+	}
+	return &Grid{Cols: cols, Rows: rows, CellSize: cellSize, blocked: make([]bool, cols*rows)}
+}
+
+// Cell identifies a grid cell by column and row.
+type Cell struct {
+	C, R int
+}
+
+// String implements fmt.Stringer.
+func (c Cell) String() string { return fmt.Sprintf("[%d,%d]", c.C, c.R) }
+
+// In reports whether the cell lies inside the grid.
+func (g *Grid) In(c Cell) bool {
+	return c.C >= 0 && c.C < g.Cols && c.R >= 0 && c.R < g.Rows
+}
+
+// Block marks a cell as an obstacle.
+func (g *Grid) Block(c Cell) {
+	if g.In(c) {
+		g.blocked[c.R*g.Cols+c.C] = true
+	}
+}
+
+// Unblock clears a cell.
+func (g *Grid) Unblock(c Cell) {
+	if g.In(c) {
+		g.blocked[c.R*g.Cols+c.C] = false
+	}
+}
+
+// Blocked reports whether a cell is an obstacle (out-of-grid counts as
+// blocked).
+func (g *Grid) Blocked(c Cell) bool {
+	if !g.In(c) {
+		return true
+	}
+	return g.blocked[c.R*g.Cols+c.C]
+}
+
+// Center returns the world coordinates of a cell's center.
+func (g *Grid) Center(c Cell) Point {
+	return Point{(float64(c.C) + 0.5) * g.CellSize, (float64(c.R) + 0.5) * g.CellSize}
+}
+
+// CellAt returns the cell containing the point.
+func (g *Grid) CellAt(p Point) Cell {
+	return Cell{int(p.X / g.CellSize), int(p.Y / g.CellSize)}
+}
+
+type pqItem struct {
+	cell  Cell
+	prio  float64
+	order int
+	index int
+}
+
+type cellPQ []*pqItem
+
+func (q cellPQ) Len() int { return len(q) }
+func (q cellPQ) Less(i, j int) bool {
+	if q[i].prio != q[j].prio {
+		return q[i].prio < q[j].prio
+	}
+	return q[i].order < q[j].order
+}
+func (q cellPQ) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *cellPQ) Push(x any) {
+	it := x.(*pqItem)
+	it.index = len(*q)
+	*q = append(*q, it)
+}
+func (q *cellPQ) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// AStar finds a minimum-length 4-connected path from start to goal,
+// avoiding blocked cells, using Manhattan-distance A*. It returns the
+// path including both endpoints, or nil if unreachable. Each drone in
+// Scenario A minimises total distance traveled this way.
+func (g *Grid) AStar(start, goal Cell) []Cell {
+	if g.Blocked(start) || g.Blocked(goal) {
+		return nil
+	}
+	if start == goal {
+		return []Cell{start}
+	}
+	h := func(c Cell) float64 {
+		return float64(abs(c.C-goal.C) + abs(c.R-goal.R))
+	}
+	gScore := map[Cell]float64{start: 0}
+	parent := map[Cell]Cell{}
+	open := &cellPQ{}
+	heap.Init(open)
+	order := 0
+	heap.Push(open, &pqItem{cell: start, prio: h(start), order: order})
+	closed := map[Cell]bool{}
+	dirs := [4]Cell{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+
+	for open.Len() > 0 {
+		cur := heap.Pop(open).(*pqItem).cell
+		if cur == goal {
+			// Reconstruct.
+			var rev []Cell
+			for c := goal; ; {
+				rev = append(rev, c)
+				if c == start {
+					break
+				}
+				c = parent[c]
+			}
+			path := make([]Cell, len(rev))
+			for i, c := range rev {
+				path[len(rev)-1-i] = c
+			}
+			return path
+		}
+		if closed[cur] {
+			continue
+		}
+		closed[cur] = true
+		for _, d := range dirs {
+			nb := Cell{cur.C + d.C, cur.R + d.R}
+			if g.Blocked(nb) || closed[nb] {
+				continue
+			}
+			tentative := gScore[cur] + 1
+			if old, ok := gScore[nb]; !ok || tentative < old {
+				gScore[nb] = tentative
+				parent[nb] = cur
+				order++
+				heap.Push(open, &pqItem{cell: nb, prio: tentative + h(nb), order: order})
+			}
+		}
+	}
+	return nil
+}
+
+// PathLength returns the world-space length of a cell path in meters.
+func (g *Grid) PathLength(path []Cell) float64 {
+	if len(path) < 2 {
+		return 0
+	}
+	return float64(len(path)-1) * g.CellSize
+}
+
+// CoveragePlan is an ordered list of waypoints sweeping a region.
+type CoveragePlan struct {
+	Waypoints []Point
+	Length    float64 // total travel distance in meters
+}
+
+// Boustrophedon builds a lawnmower sweep of region with swaths of the
+// given width (the per-frame camera footprint: the paper's drones cover
+// ~6.7 m × 8.75 m per frame). The sweep starts at the region's lower-left
+// corner.
+func Boustrophedon(region Rect, swathWidth float64) CoveragePlan {
+	if swathWidth <= 0 || !region.Valid() {
+		return CoveragePlan{}
+	}
+	var plan CoveragePlan
+	nSwaths := int(region.Height()/swathWidth) + 1
+	leftToRight := true
+	for i := 0; i < nSwaths; i++ {
+		y := region.Y0 + (float64(i)+0.5)*swathWidth
+		if y > region.Y1 {
+			y = region.Y1 - 1e-9
+		}
+		var a, b Point
+		if leftToRight {
+			a, b = Point{region.X0, y}, Point{region.X1, y}
+		} else {
+			a, b = Point{region.X1, y}, Point{region.X0, y}
+		}
+		plan.Waypoints = append(plan.Waypoints, a, b)
+		leftToRight = !leftToRight
+	}
+	for i := 1; i < len(plan.Waypoints); i++ {
+		plan.Length += plan.Waypoints[i-1].Dist(plan.Waypoints[i])
+	}
+	return plan
+}
+
+// SweepTime returns how long covering a region takes at the given speed
+// (m/s), using a boustrophedon sweep with the given swath width.
+func SweepTime(region Rect, swathWidth, speed float64) float64 {
+	if speed <= 0 {
+		return 0
+	}
+	return Boustrophedon(region, swathWidth).Length / speed
+}

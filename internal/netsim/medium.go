@@ -1,0 +1,238 @@
+// Package netsim models the network substrate between edge devices and
+// the backend cloud: a shared wireless medium (the paper's two 867 Mbps
+// MU-MIMO routers), the cloud fabric (10 GbE NICs into a 40 Gbps ToR),
+// per-message protocol-processing overheads, and the FPGA RPC
+// acceleration fabric of §4.5 that removes almost all of the processing
+// overhead (2.1 µs RTT between servers on the same ToR).
+//
+// Transfers are modelled with a max-min fair-share fluid model: all
+// active flows on a medium share its capacity equally (subject to an
+// optional per-flow cap), so congestion, saturation knees (Fig. 3b) and
+// bandwidth time-series (Fig. 14b) emerge from the flow dynamics rather
+// than being scripted.
+//
+// Because every active flow drains at the same instantaneous rate, the
+// model admits an O(log n) implementation: track the cumulative
+// per-flow drain D(t) = ∫ rate dt; a flow arriving when the drain is d0
+// with size s completes when D reaches d0 + s. Completions pop from a
+// heap keyed by that virtual finish value, so the medium stays fast
+// even with tens of thousands of backlogged flows (the saturated
+// centralized configurations at 1000-drone scale).
+package netsim
+
+import (
+	"container/heap"
+	"math"
+
+	"hivemind/internal/sim"
+	"hivemind/internal/stats"
+)
+
+// completionSlackBytes is the sub-byte residue below which a flow counts
+// as delivered. Transfers are sized in whole bytes, so anything under a
+// thousandth of a byte is floating-point noise.
+const completionSlackBytes = 1e-3
+
+// Medium is a shared transmission resource with max-min fair sharing
+// among active flows.
+type Medium struct {
+	eng        *sim.Engine
+	capacity   float64 // bytes per second, aggregate
+	perFlowCap float64 // bytes per second per flow (0 = unlimited)
+
+	drain      float64 // cumulative per-flow bytes drained since t=0
+	flows      flowHeap
+	seq        uint64
+	lastUpdate sim.Time
+	timer      *sim.Timer
+
+	meter *stats.Meter // bytes delivered, for bandwidth reporting
+}
+
+// Flow is an in-flight transfer on a medium.
+type Flow struct {
+	medium    *Medium
+	vfinish   float64 // drain value at which the flow completes
+	size      float64
+	started   sim.Time
+	done      func(f *Flow)
+	cancelled bool
+	finished  sim.Time
+	completed bool
+	seq       uint64
+	index     int // heap index, -1 once popped
+}
+
+type flowHeap []*Flow
+
+func (h flowHeap) Len() int { return len(h) }
+func (h flowHeap) Less(i, j int) bool {
+	if h[i].vfinish != h[j].vfinish {
+		return h[i].vfinish < h[j].vfinish
+	}
+	return h[i].seq < h[j].seq
+}
+func (h flowHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *flowHeap) Push(x any) {
+	f := x.(*Flow)
+	f.index = len(*h)
+	*h = append(*h, f)
+}
+func (h *flowHeap) Pop() any {
+	old := *h
+	n := len(old)
+	f := old[n-1]
+	old[n-1] = nil
+	f.index = -1
+	*h = old[:n-1]
+	return f
+}
+
+// Size returns the flow's total size in bytes.
+func (f *Flow) Size() float64 { return f.size }
+
+// Duration returns how long the transfer took (valid after completion).
+func (f *Flow) Duration() sim.Time { return f.finished - f.started }
+
+// NewMedium creates a medium with aggregate capacity capacityBps
+// (bytes/s) and optional per-flow cap (0 disables). Bandwidth is metered
+// in 1-second buckets.
+func NewMedium(eng *sim.Engine, capacityBps, perFlowCapBps float64) *Medium {
+	if capacityBps <= 0 {
+		panic("netsim: medium capacity must be positive")
+	}
+	return &Medium{
+		eng:        eng,
+		capacity:   capacityBps,
+		perFlowCap: perFlowCapBps,
+		meter:      stats.NewMeter(1.0),
+		lastUpdate: eng.Now(),
+	}
+}
+
+// Capacity returns the aggregate capacity in bytes/s.
+func (m *Medium) Capacity() float64 { return m.capacity }
+
+// SetCapacity rescales the medium (used by the scalability experiments,
+// which "scale up the network links proportionately"). Active flows
+// adopt the new rate immediately.
+func (m *Medium) SetCapacity(capacityBps float64) {
+	if capacityBps <= 0 {
+		panic("netsim: medium capacity must be positive")
+	}
+	m.advance()
+	m.capacity = capacityBps
+	m.reschedule()
+}
+
+// ActiveFlows returns the number of in-flight transfers.
+func (m *Medium) ActiveFlows() int { return len(m.flows) }
+
+// Meter exposes the delivered-bytes meter (1 s buckets).
+func (m *Medium) Meter() *stats.Meter { return m.meter }
+
+// rate returns the current per-flow rate in bytes/s.
+func (m *Medium) rate() float64 {
+	n := len(m.flows)
+	if n == 0 {
+		return 0
+	}
+	r := m.capacity / float64(n)
+	if m.perFlowCap > 0 && r > m.perFlowCap {
+		r = m.perFlowCap
+	}
+	return r
+}
+
+// advance moves cumulative drain forward for the elapsed interval and
+// completes every flow whose virtual finish has been reached.
+func (m *Medium) advance() {
+	now := m.eng.Now()
+	dt := now - m.lastUpdate
+	m.lastUpdate = now
+	if dt > 0 && len(m.flows) > 0 {
+		perFlow := m.rate() * dt
+		m.drain += perFlow
+		// Aggregate delivered bytes over the interval (all flows drain
+		// at the same rate; flows that finish mid-interval deliver only
+		// their remainder, which the pop below accounts for by clamping).
+		m.meter.AddSpread(now-dt, now, perFlow*float64(len(m.flows)))
+	}
+	for len(m.flows) > 0 && m.flows[0].vfinish <= m.drain+completionSlackBytes {
+		f := heap.Pop(&m.flows).(*Flow)
+		// Clamp the meter: bytes past the flow's size were never real.
+		if over := m.drain - f.vfinish; over > 0 {
+			m.meter.Add(now, -math.Min(over, f.size))
+		}
+		f.completed = true
+		f.finished = now
+		if !f.cancelled && f.done != nil {
+			f.done(f)
+		}
+	}
+}
+
+// reschedule arms a timer for the next flow completion.
+func (m *Medium) reschedule() {
+	if m.timer != nil {
+		m.timer.Cancel()
+		m.timer = nil
+	}
+	if len(m.flows) == 0 {
+		return
+	}
+	// Aim slightly past the exact completion instant so floating-point
+	// residue cannot leave a flow with an un-completable sliver.
+	eta := (m.flows[0].vfinish - m.drain + completionSlackBytes/2) / m.rate()
+	if eta < 0 {
+		eta = 0
+	}
+	m.timer = m.eng.After(eta, func() {
+		m.advance()
+		m.reschedule()
+	})
+}
+
+// Transfer starts a flow of the given size. done (may be nil) fires when
+// the last byte is delivered. Zero-size transfers complete immediately.
+func (m *Medium) Transfer(bytes float64, done func(*Flow)) *Flow {
+	f := &Flow{medium: m, size: bytes, started: m.eng.Now(), done: done, index: -1}
+	if bytes <= 0 {
+		f.completed = true
+		f.finished = m.eng.Now()
+		if done != nil {
+			done(f)
+		}
+		return f
+	}
+	m.advance()
+	f.vfinish = m.drain + bytes
+	f.seq = m.seq
+	m.seq++
+	heap.Push(&m.flows, f)
+	m.reschedule()
+	return f
+}
+
+// Cancel aborts an in-flight flow; its callback will not fire. Reports
+// whether the flow was still active.
+func (f *Flow) Cancel() bool {
+	if f.cancelled || f.completed {
+		return false
+	}
+	m := f.medium
+	m.advance()
+	if f.completed || f.index < 0 {
+		return false
+	}
+	f.cancelled = true
+	// No meter adjustment: the flow consumed its fair share of the
+	// medium until this instant, and only that consumption was metered.
+	heap.Remove(&m.flows, f.index)
+	m.reschedule()
+	return true
+}

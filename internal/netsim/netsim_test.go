@@ -1,0 +1,284 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hivemind/internal/sim"
+)
+
+func TestMediumSingleFlowRate(t *testing.T) {
+	e := sim.NewEngine(1)
+	m := NewMedium(e, 100, 0) // 100 B/s
+	var done sim.Time
+	m.Transfer(500, func(f *Flow) { done = e.Now() })
+	e.Run()
+	if math.Abs(done-5.0) > 1e-4 {
+		t.Fatalf("500B at 100B/s finished at %g, want 5", done)
+	}
+}
+
+func TestMediumFairSharing(t *testing.T) {
+	e := sim.NewEngine(1)
+	m := NewMedium(e, 100, 0)
+	var t1, t2 sim.Time
+	m.Transfer(300, func(f *Flow) { t1 = e.Now() })
+	m.Transfer(300, func(f *Flow) { t2 = e.Now() })
+	e.Run()
+	// Two equal flows at 50 B/s each: both finish at 6s.
+	if math.Abs(t1-6) > 1e-4 || math.Abs(t2-6) > 1e-4 {
+		t.Fatalf("finish times %g, %g; want 6, 6", t1, t2)
+	}
+}
+
+func TestMediumShortFlowFinishesFirstThenLongSpeedsUp(t *testing.T) {
+	e := sim.NewEngine(1)
+	m := NewMedium(e, 100, 0)
+	var tShort, tLong sim.Time
+	m.Transfer(100, func(f *Flow) { tShort = e.Now() })
+	m.Transfer(300, func(f *Flow) { tLong = e.Now() })
+	e.Run()
+	// Shared at 50B/s until short (100B) done at t=2; long has 200B left
+	// at full 100B/s: done at t=4.
+	if math.Abs(tShort-2) > 1e-4 {
+		t.Fatalf("short finished at %g, want 2", tShort)
+	}
+	if math.Abs(tLong-4) > 1e-4 {
+		t.Fatalf("long finished at %g, want 4", tLong)
+	}
+}
+
+func TestMediumPerFlowCap(t *testing.T) {
+	e := sim.NewEngine(1)
+	m := NewMedium(e, 1000, 10) // huge capacity, 10 B/s per flow
+	var done sim.Time
+	m.Transfer(100, func(f *Flow) { done = e.Now() })
+	e.Run()
+	if math.Abs(done-10) > 1e-4 {
+		t.Fatalf("capped flow finished at %g, want 10", done)
+	}
+}
+
+func TestMediumLateArrival(t *testing.T) {
+	e := sim.NewEngine(1)
+	m := NewMedium(e, 100, 0)
+	var tA, tB sim.Time
+	m.Transfer(400, func(f *Flow) { tA = e.Now() })
+	e.At(2, func() { m.Transfer(100, func(f *Flow) { tB = e.Now() }) })
+	e.Run()
+	// A alone 0-2s: 200B done. Then sharing at 50B/s: B(100B) done at t=4.
+	// A has 200-100=100B left at t=4, alone again: done at t=5.
+	if math.Abs(tB-4) > 1e-4 || math.Abs(tA-5) > 1e-4 {
+		t.Fatalf("tA=%g (want 5), tB=%g (want 4)", tA, tB)
+	}
+}
+
+func TestMediumZeroSizeCompletesImmediately(t *testing.T) {
+	e := sim.NewEngine(1)
+	m := NewMedium(e, 100, 0)
+	fired := false
+	m.Transfer(0, func(f *Flow) { fired = true })
+	if !fired {
+		t.Fatal("zero-size transfer did not complete synchronously")
+	}
+}
+
+func TestMediumCancel(t *testing.T) {
+	e := sim.NewEngine(1)
+	m := NewMedium(e, 100, 0)
+	var tA sim.Time
+	fired := false
+	m.Transfer(400, func(f *Flow) { tA = e.Now() })
+	var fB *Flow
+	fB = m.Transfer(400, func(f *Flow) { fired = true })
+	e.At(2, func() {
+		if !fB.Cancel() {
+			t.Error("cancel returned false on active flow")
+		}
+		if fB.Cancel() {
+			t.Error("second cancel returned true")
+		}
+	})
+	e.Run()
+	if fired {
+		t.Fatal("cancelled flow callback fired")
+	}
+	// A: shared 0-2s (100B), alone after: 300B at 100B/s → done at 5.
+	if math.Abs(tA-5) > 1e-4 {
+		t.Fatalf("tA=%g, want 5", tA)
+	}
+	if m.ActiveFlows() != 0 {
+		t.Fatalf("active flows = %d", m.ActiveFlows())
+	}
+}
+
+func TestMediumSetCapacityMidFlow(t *testing.T) {
+	e := sim.NewEngine(1)
+	m := NewMedium(e, 100, 0)
+	var done sim.Time
+	m.Transfer(400, func(f *Flow) { done = e.Now() })
+	e.At(2, func() { m.SetCapacity(200) }) // 200B left, now at 200B/s
+	e.Run()
+	if math.Abs(done-3) > 1e-4 {
+		t.Fatalf("done at %g, want 3", done)
+	}
+}
+
+func TestMediumMeterConservation(t *testing.T) {
+	e := sim.NewEngine(1)
+	m := NewMedium(e, 100, 0)
+	total := 0.0
+	for _, sz := range []float64{100, 250, 300} {
+		sz := sz
+		m.Transfer(sz, nil)
+		total += sz
+	}
+	e.Run()
+	if math.Abs(m.Meter().Total()-total) > 1 {
+		t.Fatalf("metered %g bytes, want %g", m.Meter().Total(), total)
+	}
+}
+
+// Property: total transfer time for n equal simultaneous flows equals
+// n*size/capacity (work conservation under fair sharing).
+func TestMediumWorkConservationProperty(t *testing.T) {
+	prop := func(nRaw, szRaw uint8) bool {
+		n := int(nRaw%10) + 1
+		size := float64(szRaw%100+1) * 10
+		e := sim.NewEngine(1)
+		m := NewMedium(e, 100, 0)
+		var last sim.Time
+		for i := 0; i < n; i++ {
+			m.Transfer(size, func(f *Flow) { last = e.Now() })
+		}
+		e.Run()
+		want := float64(n) * size / 100
+		return math.Abs(last-want) < 1e-3
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMediumDeterministic(t *testing.T) {
+	run := func() []sim.Time {
+		e := sim.NewEngine(9)
+		m := NewMedium(e, 1000, 0)
+		var finishes []sim.Time
+		for i := 0; i < 50; i++ {
+			at := e.Rand().Float64() * 5
+			size := e.Rand().Float64()*1000 + 1
+			e.At(at, func() {
+				m.Transfer(size, func(f *Flow) { finishes = append(finishes, e.Now()) })
+			})
+		}
+		e.Run()
+		return finishes
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("different completion counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestNetworkEdgeToCloudBreakdown(t *testing.T) {
+	e := sim.NewEngine(1)
+	cfg := DefaultConfig()
+	n := NewNetwork(e, cfg)
+	var info TransferInfo
+	n.EdgeToCloud(2e6, func(ti TransferInfo) { info = ti }) // 2MB frame
+	e.Run()
+	if info.Bytes != 2e6 {
+		t.Fatalf("bytes = %g", info.Bytes)
+	}
+	wantProc := (cfg.ProcPerMsgS + cfg.ProcPerMBS*2) * 2
+	if math.Abs(info.ProcS-wantProc) > 1e-12 {
+		t.Fatalf("proc = %g, want %g", info.ProcS, wantProc)
+	}
+	// Uncontended 2MB at the 50MB/s per-device cap = 40ms of queueing.
+	if math.Abs(info.QueueingS-0.04) > 1e-4 {
+		t.Fatalf("queueing = %g, want 0.04", info.QueueingS)
+	}
+	if math.Abs(info.TotalS-(info.ProcS+info.QueueingS+info.PropS)) > 1e-4 {
+		t.Fatalf("total %g != sum of parts", info.TotalS)
+	}
+}
+
+func TestNetworkAccelReducesProcessing(t *testing.T) {
+	e := sim.NewEngine(1)
+	cfg := DefaultConfig()
+	n := NewNetwork(e, cfg)
+	var sw, hw TransferInfo
+	n.CloudToCloud(64, func(ti TransferInfo) { sw = ti })
+	e.Run()
+	n.SetRPCAccel(true)
+	n.CloudToCloud(64, func(ti TransferInfo) { hw = ti })
+	e.Run()
+	if hw.ProcS >= sw.ProcS/100 {
+		t.Fatalf("accel proc %g not ≪ software proc %g", hw.ProcS, sw.ProcS)
+	}
+	if hw.TotalS >= sw.TotalS {
+		t.Fatal("accel did not reduce total latency")
+	}
+}
+
+func TestRPCRoundTripCalibration(t *testing.T) {
+	e := sim.NewEngine(1)
+	cfg := DefaultConfig()
+	cfg.RPCAccel = true
+	n := NewNetwork(e, cfg)
+	rtt := n.RPCRoundTrip(64, 64)
+	// §4.5: 2.1us RTT between servers on the same ToR for 64B RPCs.
+	if rtt < 1.5e-6 || rtt > 3.0e-6 {
+		t.Fatalf("accelerated 64B RTT = %g s, want ~2.1µs", rtt)
+	}
+	n.SetRPCAccel(false)
+	if sw := n.RPCRoundTrip(64, 64); sw < 100*rtt {
+		t.Fatalf("software RTT %g should be ≫ accelerated %g", sw, rtt)
+	}
+}
+
+func TestScaleWireless(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := NewNetwork(e, DefaultConfig())
+	base := n.Wireless.Capacity()
+	n.ScaleWireless(4)
+	if n.Wireless.Capacity() != base*4 {
+		t.Fatalf("scaled capacity = %g", n.Wireless.Capacity())
+	}
+}
+
+func TestWirelessSaturationKnee(t *testing.T) {
+	// Reproduces the Fig. 3b mechanism in miniature: per-device offered
+	// load beyond the shared capacity should inflate transfer latency.
+	latency := func(devices int) float64 {
+		e := sim.NewEngine(1)
+		n := NewNetwork(e, DefaultConfig())
+		var worst sim.Time
+		for d := 0; d < devices; d++ {
+			for i := 0; i < 10; i++ {
+				at := float64(i) * 0.125 // 8 fps
+				e.At(at, func() {
+					start := e.Now()
+					n.EdgeToCloud(8e6, func(ti TransferInfo) { // 8MB frames
+						if l := e.Now() - start; l > worst {
+							worst = l
+						}
+					})
+				})
+			}
+		}
+		e.Run()
+		return worst
+	}
+	low, high := latency(2), latency(16)
+	if high < 5*low {
+		t.Fatalf("no saturation knee: 2 drones %.3gs vs 16 drones %.3gs", low, high)
+	}
+}

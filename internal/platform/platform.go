@@ -1,0 +1,651 @@
+// Package platform assembles the substrates into the complete systems
+// the paper compares: Centralized IaaS, Centralized FaaS (OpenWhisk),
+// Distributed Edge, HiveMind, and the Fig. 13 ablations. It provides
+// the single-tier job runner used by most evaluation figures; the
+// multi-phase scenarios build on it in internal/scenario.
+package platform
+
+import (
+	"fmt"
+	"math"
+
+	"hivemind/internal/accel"
+	"hivemind/internal/apps"
+	"hivemind/internal/cluster"
+	"hivemind/internal/device"
+	"hivemind/internal/faas"
+	"hivemind/internal/geo"
+	"hivemind/internal/netsim"
+	"hivemind/internal/scheduler"
+	"hivemind/internal/sim"
+	"hivemind/internal/stats"
+	"hivemind/internal/store"
+	"hivemind/internal/trace"
+)
+
+// SystemKind selects a coordination platform.
+type SystemKind int
+
+const (
+	// CentralizedIaaS runs all computation on statically provisioned
+	// cloud resources of equal cost.
+	CentralizedIaaS SystemKind = iota
+	// CentralizedFaaS runs all computation on the serverless cloud
+	// (stock OpenWhisk behaviour).
+	CentralizedFaaS
+	// DistributedEdge runs all computation on the devices; only final
+	// outputs reach the cloud.
+	DistributedEdge
+	// HiveMind is the full system: hybrid placement, serverless backend
+	// with keep-alive/colocation/straggler mitigation, FPGA RPC and
+	// remote-memory acceleration.
+	HiveMind
+)
+
+// String implements fmt.Stringer.
+func (k SystemKind) String() string {
+	switch k {
+	case CentralizedIaaS:
+		return "centralized-iaas"
+	case CentralizedFaaS:
+		return "centralized-faas"
+	case DistributedEdge:
+		return "distributed-edge"
+	case HiveMind:
+		return "hivemind"
+	default:
+		return fmt.Sprintf("system(%d)", int(k))
+	}
+}
+
+// Options configures a System. The zero value is not usable; start from
+// Preset.
+type Options struct {
+	Kind      SystemKind
+	Devices   int
+	DeviceCfg device.Config
+	NetCfg    netsim.Config
+	ClusterCf cluster.Config
+	FaasCfg   faas.Config
+	Seed      int64
+
+	// Feature toggles (pre-set per Kind; the Fig. 13 ablations flip
+	// them individually).
+	NetAccel        bool // FPGA RPC/NIC offload for edge<->cloud and intra-cloud traffic
+	RemoteMemAccel  bool // FPGA remote-memory inter-function data sharing
+	HybridPlacement bool // per-tier edge/cloud placement (HiveMind synthesis outcome)
+	IntraTaskPar    bool // split tasks across parallel functions
+
+	// HybridUploadFrac is the fraction of sensor data HiveMind ships to
+	// the cloud after on-board preprocessing (hybrid execution, §4.2);
+	// the rest is consumed on-device.
+	HybridUploadFrac float64
+	// HybridEdgeWorkFrac is the fraction of the task's recognition work
+	// subsumed by on-board preprocessing (reduces cloud execution).
+	HybridEdgeWorkFrac float64
+	// PreprocSPerMB is the on-board cost of the hybrid preprocessing
+	// pass (ROI extraction / frame filtering) per MB of sensor data.
+	PreprocSPerMB float64
+
+	// FieldM is the side of the square survey field devices sweep.
+	FieldM float64
+
+	// WirelessScale multiplies wireless capacity (scalability sweeps
+	// scale links proportionately to swarm size).
+	WirelessScale float64
+
+	// SchedulerShards sets the number of controller decision shards
+	// (0 = auto: one shard, plus extra shards under HiveMind once the
+	// swarm's decision rate would saturate a single controller thread,
+	// §5.6).
+	SchedulerShards int
+
+	// Trace, if non-nil, records a span per completed task (with its
+	// stage decomposition) and instants for device failures — exported
+	// as a Chrome trace via internal/trace.
+	Trace *trace.Recorder
+
+	// PublicCloud models the §4.8 deployment where HiveMind does not
+	// control physical machines: no parent/child colocation, no FPGA
+	// fabrics, and co-tenant interference is higher. HiveMind retains
+	// its programmability and hybrid-placement benefits.
+	PublicCloud bool
+}
+
+// Preset returns the paper-faithful configuration for a system kind.
+func Preset(kind SystemKind, devices int, seed int64) Options {
+	o := Options{
+		Kind:               kind,
+		Devices:            devices,
+		DeviceCfg:          device.DroneConfig(),
+		NetCfg:             netsim.DefaultConfig(),
+		ClusterCf:          cluster.DefaultConfig(),
+		Seed:               seed,
+		HybridUploadFrac:   0.45,
+		HybridEdgeWorkFrac: 0.05,
+		PreprocSPerMB:      0.012, // ~80 MB/s ROI extraction on-board
+		FieldM:             120,
+		WirelessScale:      1,
+	}
+	switch kind {
+	case CentralizedIaaS:
+		o.FaasCfg = faas.DefaultConfig()
+	case CentralizedFaaS:
+		o.FaasCfg = openWhiskConfig()
+		o.IntraTaskPar = true
+	case DistributedEdge:
+		o.FaasCfg = openWhiskConfig()
+	case HiveMind:
+		o.FaasCfg = faas.HiveMindConfig(accel.NewFabric())
+		o.FaasCfg.WarmStartS = 0.035
+		o.NetAccel = true
+		o.RemoteMemAccel = true
+		o.HybridPlacement = true
+		o.IntraTaskPar = true
+	}
+	return o
+}
+
+// openWhiskConfig is the stock serverless baseline: short-lived
+// containers with a brief reuse window, CouchDB data sharing.
+func openWhiskConfig() faas.Config {
+	c := faas.DefaultConfig()
+	c.KeepAliveS = 0.6 // terminates containers shortly after completion
+	c.WarmStartS = 0.035
+	c.Protocol = store.ProtoCouchDB
+	return c
+}
+
+// System is a fully wired coordination platform over one simulation
+// engine.
+type System struct {
+	Opts    Options
+	Eng     *sim.Engine
+	Net     *netsim.Network
+	Cluster *cluster.Cluster
+	Faas    *faas.Platform
+	Fleet   device.Fleet
+
+	regions []geo.Rect
+	failed  int
+}
+
+// NewSystem builds and wires a system.
+func NewSystem(o Options) *System {
+	if o.Devices <= 0 {
+		panic("platform: need at least one device")
+	}
+	eng := sim.NewEngine(o.Seed)
+	netCfg := o.NetCfg
+	netCfg.RPCAccel = o.NetAccel
+	clsCfg := o.ClusterCf
+	if o.NetAccel {
+		clsCfg.NetStackCoresPerServer = 0 // offload frees the stack cores
+	}
+	faasCfg := o.FaasCfg
+	if o.PublicCloud {
+		o.NetAccel = false
+		o.RemoteMemAccel = false
+		netCfg.RPCAccel = false
+		clsCfg.NetStackCoresPerServer = cluster.DefaultConfig().NetStackCoresPerServer
+		faasCfg.Colocate = false
+		faasCfg.InterferenceCoef *= 1.5 // unknown co-tenants
+	}
+	if !o.RemoteMemAccel && faasCfg.Protocol == store.ProtoRemoteMem {
+		faasCfg.Protocol = store.ProtoCouchDB
+		faasCfg.Fabric = nil
+	}
+	// Controller decision engine: one scheduler thread makes a decision
+	// in ~0.2 ms; HiveMind adds shards when the swarm's aggregate task
+	// rate would saturate it (§5.6: "multiple schedulers, each
+	// responsible for a subset of tasks").
+	const decisionS = 0.0002
+	shards := o.SchedulerShards
+	if shards <= 0 {
+		shards = 1
+		if o.Kind == HiveMind {
+			// ~2 tasks/s/device headroom against the 5000/s shard limit.
+			shards = 1 + o.Devices*2/int(1/decisionS)
+		}
+	}
+	faasCfg.Scheduler = scheduler.NewSharded(eng, shards, decisionS)
+
+	s := &System{Opts: o, Eng: eng}
+	s.Net = netsim.NewNetwork(eng, netCfg)
+	if o.WirelessScale != 1 && o.WirelessScale > 0 {
+		s.Net.ScaleWireless(o.WirelessScale)
+	}
+	s.Cluster = cluster.New(eng, clsCfg)
+	s.Faas = faas.New(eng, s.Cluster, faasCfg)
+	s.Fleet = device.NewFleet(eng, o.Devices, o.DeviceCfg, func(d *device.Device) {
+		s.failed++
+		if o.Trace != nil {
+			o.Trace.Mark(trace.Instant{
+				Name: "device-failure", Track: fmt.Sprintf("device-%d", d.ID),
+				AtS: eng.Now(), Global: true,
+			})
+		}
+	})
+
+	// Divide the field and start the survey sweep (§2.1: "at time zero,
+	// the field is divided equally among the drones").
+	field := geo.NewField(o.FieldM, o.FieldM)
+	s.regions = geo.Partition(field, o.Devices)
+	for i, d := range s.Fleet {
+		d.AssignRegion(s.regions[i])
+	}
+	return s
+}
+
+// FailedDevices returns how many devices have failed so far.
+func (s *System) FailedDevices() int { return s.failed }
+
+// Regions returns the current field partition (one region per device).
+func (s *System) Regions() []geo.Rect { return s.regions }
+
+// TierPlacement says where a tier of computation runs under this
+// system.
+type TierPlacement int
+
+const (
+	TierCloud TierPlacement = iota
+	TierEdge
+	TierHybrid
+)
+
+// String implements fmt.Stringer.
+func (p TierPlacement) String() string {
+	switch p {
+	case TierEdge:
+		return "edge"
+	case TierHybrid:
+		return "hybrid"
+	default:
+		return "cloud"
+	}
+}
+
+// PlaceFor decides a single-tier job's placement under this system —
+// the outcome HiveMind's synthesis search arrives at (§4.2), encoded:
+// pinned-edge tasks stay on-board, light tasks whose network cost
+// exceeds their compute cost run on the edge, heavy tasks run hybrid.
+func (s *System) PlaceFor(p apps.Profile) TierPlacement {
+	switch s.Opts.Kind {
+	case DistributedEdge:
+		return TierEdge
+	case CentralizedIaaS, CentralizedFaaS:
+		return TierCloud
+	}
+	// HiveMind (or custom hybrid-capable systems).
+	if !s.Opts.HybridPlacement {
+		return TierCloud
+	}
+	if p.PinEdge {
+		return TierEdge
+	}
+	if p.EdgeUtilization() < 0.8 && p.EdgeExecS < 2.5*p.CloudExecS {
+		// Light enough for the device and not much slower there: keep it
+		// local and save the radio (S3 drone detection, S7 weather).
+		return TierEdge
+	}
+	return TierHybrid
+}
+
+// TaskMetrics is one completed task's accounting.
+type TaskMetrics struct {
+	App       apps.ID
+	Placement TierPlacement
+	Start     sim.Time
+	End       sim.Time
+	Network   float64
+	Mgmt      float64
+	DataIO    float64
+	Exec      float64
+	Dropped   bool
+	Cold      int
+	Respawns  int
+}
+
+// TotalS returns end-to-end latency.
+func (m TaskMetrics) TotalS() float64 { return m.End - m.Start }
+
+// sampleEdgeExec draws an on-board service time: the intrinsic
+// variability (thermal throttling, SD-card I/O, background autonomy
+// work) that makes distributed execution "poor and unpredictable"
+// (§2.3).
+func (s *System) sampleEdgeExec(base, cv float64) float64 {
+	if cv <= 0 {
+		return base
+	}
+	sigma := math.Sqrt(math.Log(1 + cv*cv))
+	mu := -sigma * sigma / 2
+	t := base * math.Exp(mu+sigma*s.Eng.Rand().NormFloat64())
+	if t < 1e-6 {
+		t = 1e-6
+	}
+	return t
+}
+
+// SubmitOpts tunes one task submission.
+type SubmitOpts struct {
+	// ForcePlacement overrides the system's placement decision.
+	ForcePlacement *TierPlacement
+	// Parallelism overrides the profile fan-out (0 = per system config).
+	Parallelism int
+	// InputScale scales the sensor payload (resolution sweeps).
+	InputScale float64
+	// Device selects the submitting device (default: by round-robin —
+	// pass -1 for automatic).
+	Device int
+}
+
+// SubmitTask runs one task of the given application through the system
+// and reports metrics. done may be nil.
+func (s *System) SubmitTask(p apps.Profile, dev *device.Device, opts SubmitOpts, done func(TaskMetrics)) {
+	if opts.InputScale <= 0 {
+		opts.InputScale = 1
+	}
+	placement := s.PlaceFor(p)
+	if opts.ForcePlacement != nil {
+		placement = *opts.ForcePlacement
+	}
+	m := TaskMetrics{App: p.ID, Placement: placement, Start: s.Eng.Now()}
+	finish := func() {
+		m.End = s.Eng.Now()
+		if tr := s.Opts.Trace; tr != nil {
+			tr.Add(trace.Span{
+				Name:     string(p.ID),
+				Category: placement.String(),
+				Track:    fmt.Sprintf("device-%d", dev.ID),
+				StartS:   m.Start,
+				EndS:     m.End,
+				Args: map[string]string{
+					"network": fmt.Sprintf("%.4f", m.Network),
+					"mgmt":    fmt.Sprintf("%.4f", m.Mgmt),
+					"dataio":  fmt.Sprintf("%.4f", m.DataIO),
+					"exec":    fmt.Sprintf("%.4f", m.Exec),
+					"dropped": fmt.Sprintf("%v", m.Dropped),
+				},
+			})
+		}
+		if done != nil {
+			done(m)
+		}
+	}
+	if dev.Failed() {
+		m.Dropped = true
+		finish()
+		return
+	}
+	switch placement {
+	case TierEdge:
+		s.runEdge(p, dev, &m, opts, finish)
+	case TierCloud:
+		s.runCloud(p, dev, &m, opts, 1.0, 0, finish)
+	case TierHybrid:
+		// Preprocess on-board (cheap, data-proportional ROI extraction),
+		// ship the reduced payload, finish in the cloud.
+		pre := s.sampleEdgeExec(p.InputMB*s.Opts.PreprocSPerMB, p.ExecCV)
+		dev.RunTask(pre, func(out device.TaskOutcome) {
+			if out.Dropped {
+				m.Dropped = true
+				finish()
+				return
+			}
+			m.Exec += out.ExecS + out.QueueS
+			s.runCloud(p, dev, &m, opts, s.Opts.HybridUploadFrac, s.Opts.HybridEdgeWorkFrac, finish)
+		})
+	}
+}
+
+// runEdge executes fully on-board; only the small output is shipped.
+func (s *System) runEdge(p apps.Profile, dev *device.Device, m *TaskMetrics, opts SubmitOpts, finish func()) {
+	// Edge devices show ~2x the cloud's intrinsic variability (thermal
+	// and I/O effects on a passively-cooled ARM board).
+	dev.RunTask(s.sampleEdgeExec(p.EdgeExecS, 2*p.ExecCV), func(out device.TaskOutcome) {
+		if out.Dropped {
+			m.Dropped = true
+			finish()
+			return
+		}
+		m.Exec += out.ExecS + out.QueueS
+		// Ship the final output to the backend.
+		outMB := p.OutputMB
+		dev.Transmit(outMB)
+		s.Net.EdgeToCloud(outMB*1e6, func(ti netsim.TransferInfo) {
+			m.Network += ti.TotalS
+			finish()
+		})
+	})
+}
+
+// runCloud ships the (possibly reduced) input, executes on the backend
+// and returns the result. uploadFrac scales the payload; workDone is
+// the fraction of the task already executed on-board.
+func (s *System) runCloud(p apps.Profile, dev *device.Device, m *TaskMetrics, opts SubmitOpts, uploadFrac, workDone float64, finish func()) {
+	inMB := p.InputMB * opts.InputScale * uploadFrac
+	dev.Transmit(inMB)
+	s.Net.EdgeToCloud(inMB*1e6, func(up netsim.TransferInfo) {
+		m.Network += up.TotalS
+		par := p.Parallelism
+		if !s.Opts.IntraTaskPar {
+			par = 1
+		}
+		if opts.Parallelism > 0 {
+			par = opts.Parallelism
+		}
+		spec := faas.FunctionSpec{
+			Name:         string(p.ID),
+			ExecS:        p.CloudExecS * (1 - workDone),
+			Parallelism:  par,
+			MemGB:        p.MemGB,
+			ExecCV:       p.ExecCV,
+			ParentDataMB: inMB, // functions fetch sensor data from the store
+		}
+		s.Faas.Invoke(spec, func(r faas.Result) {
+			m.Mgmt += r.MgmtS + r.QueueS
+			m.DataIO += r.DataIOS
+			m.Exec += r.ExecS
+			m.Cold += r.Cold
+			m.Respawns += r.Respawns
+			// Response back to the device.
+			dev.Receive(p.OutputMB)
+			s.Net.EdgeToCloud(p.OutputMB*1e6, func(down netsim.TransferInfo) {
+				m.Network += down.TotalS
+				finish()
+			})
+		})
+	})
+}
+
+// JobResult aggregates a single-tier job run (one application, all
+// devices, fixed duration).
+type JobResult struct {
+	App         apps.ID
+	Latency     *stats.Sample
+	Breakdown   *stats.Breakdown
+	Submitted   int
+	Completed   int
+	Dropped     int
+	BatteryMean float64 // mean consumed fraction across devices
+	BatteryMax  float64
+	BWMeanMBps  float64 // wireless bandwidth over the run
+	BWp99MBps   float64
+	ColdStarts  int
+	Respawns    int
+}
+
+// RunJob drives one application at its default per-device rate for
+// durationS seconds, then drains in-flight tasks, and reports
+// aggregate metrics (the paper runs each job for 120 s).
+func (s *System) RunJob(p apps.Profile, durationS float64) JobResult {
+	res := JobResult{App: p.ID, Latency: &stats.Sample{}, Breakdown: stats.NewBreakdown()}
+	period := 1.0 / p.TaskRatePerDevice
+	rng := s.Eng.Rand()
+	for _, d := range s.Fleet {
+		d := d
+		// Stagger device phase and jitter arrivals ±20%.
+		start := rng.Float64() * period
+		var submit func()
+		submit = func() {
+			if s.Eng.Now() >= durationS {
+				return
+			}
+			res.Submitted++
+			s.SubmitTask(p, d, SubmitOpts{}, func(m TaskMetrics) {
+				if m.Dropped {
+					res.Dropped++
+					return
+				}
+				res.Completed++
+				res.Latency.Add(m.TotalS())
+				res.Breakdown.Record(map[stats.Stage]float64{
+					stats.StageNetwork:    m.Network,
+					stats.StageManagement: m.Mgmt,
+					stats.StageDataIO:     m.DataIO,
+					stats.StageExecution:  m.Exec,
+				})
+				res.ColdStarts += m.Cold
+				res.Respawns += m.Respawns
+			})
+			next := period * (0.8 + 0.4*rng.Float64())
+			s.Eng.After(next, submit)
+		}
+		s.Eng.At(start, submit)
+	}
+	s.Eng.RunUntil(durationS)
+	// Drain stragglers (bounded).
+	s.Eng.RunUntil(durationS + 60)
+	s.Fleet.Settle()
+	s.Fleet.StopAll()
+	s.Eng.Run() // let keep-alive timers and residual events drain
+
+	res.BatteryMean = s.Fleet.MeanBatteryConsumed()
+	res.BatteryMax = s.Fleet.MaxBatteryConsumed()
+	bw := s.Net.Wireless.Meter().RateSample(durationS)
+	res.BWMeanMBps = bw.Mean() / 1e6
+	res.BWp99MBps = bw.Percentile(99) / 1e6
+	return res
+}
+
+// RunJobs drives several applications concurrently on one system (the
+// platform "supports multi-tenancy", §2.1) and returns per-job results
+// in input order. Shared resources — wireless, cores, warm pools — are
+// contended across the jobs.
+func (s *System) RunJobs(profiles []apps.Profile, durationS float64) []JobResult {
+	results := make([]JobResult, len(profiles))
+	rng := s.Eng.Rand()
+	for ji := range profiles {
+		p := profiles[ji]
+		res := &results[ji]
+		res.App = p.ID
+		res.Latency = &stats.Sample{}
+		res.Breakdown = stats.NewBreakdown()
+		period := 1.0 / p.TaskRatePerDevice
+		for _, d := range s.Fleet {
+			d := d
+			start := rng.Float64() * period
+			var submit func()
+			submit = func() {
+				if s.Eng.Now() >= durationS {
+					return
+				}
+				res.Submitted++
+				s.SubmitTask(p, d, SubmitOpts{}, func(m TaskMetrics) {
+					if m.Dropped {
+						res.Dropped++
+						return
+					}
+					res.Completed++
+					res.Latency.Add(m.TotalS())
+					res.Breakdown.Record(map[stats.Stage]float64{
+						stats.StageNetwork:    m.Network,
+						stats.StageManagement: m.Mgmt,
+						stats.StageDataIO:     m.DataIO,
+						stats.StageExecution:  m.Exec,
+					})
+				})
+				s.Eng.After(period*(0.8+0.4*rng.Float64()), submit)
+			}
+			s.Eng.At(start, submit)
+		}
+	}
+	s.Eng.RunUntil(durationS)
+	s.Eng.RunUntil(durationS + 60)
+	s.Fleet.Settle()
+	s.Fleet.StopAll()
+	s.Eng.Run()
+	bw := s.Net.Wireless.Meter().RateSample(durationS)
+	for ji := range results {
+		results[ji].BatteryMean = s.Fleet.MeanBatteryConsumed()
+		results[ji].BatteryMax = s.Fleet.MaxBatteryConsumed()
+		results[ji].BWMeanMBps = bw.Mean() / 1e6
+		results[ji].BWp99MBps = bw.Percentile(99) / 1e6
+	}
+	return results
+}
+
+// ReservedJob runs a job on a statically provisioned pool (the
+// Centralized IaaS baseline): all computation in the cloud on
+// sizeCores cores of reserved capacity. sizeCores <= 0 provisions for
+// the average demand ("statically provisioned cloud resources of equal
+// cost").
+func (s *System) ReservedJob(p apps.Profile, durationS float64, sizeCores int) JobResult {
+	if sizeCores <= 0 {
+		demand := p.TaskRatePerDevice * float64(s.Opts.Devices) * p.CloudExecS
+		sizeCores = int(math.Ceil(demand))
+		if sizeCores < 1 {
+			sizeCores = 1
+		}
+	}
+	pool := faas.NewReserved(s.Eng, sizeCores, s.Faas.Config())
+	res := JobResult{App: p.ID, Latency: &stats.Sample{}, Breakdown: stats.NewBreakdown()}
+	period := 1.0 / p.TaskRatePerDevice
+	rng := s.Eng.Rand()
+	for _, d := range s.Fleet {
+		d := d
+		start := rng.Float64() * period
+		var submit func()
+		submit = func() {
+			if s.Eng.Now() >= durationS {
+				return
+			}
+			res.Submitted++
+			taskStart := s.Eng.Now()
+			inMB := p.InputMB
+			dev := d
+			dev.Transmit(inMB)
+			s.Net.EdgeToCloud(inMB*1e6, func(up netsim.TransferInfo) {
+				// Fixed deployments run each task as a single process;
+				// intra-task fan-out is a serverless benefit (§3.2).
+				pool.Invoke(faas.FunctionSpec{
+					Name: string(p.ID), ExecS: p.CloudExecS, Parallelism: 1,
+					MemGB: p.MemGB, ExecCV: p.ExecCV,
+				}, func(r faas.Result) {
+					dev.Receive(p.OutputMB)
+					s.Net.EdgeToCloud(p.OutputMB*1e6, func(down netsim.TransferInfo) {
+						res.Completed++
+						res.Latency.Add(s.Eng.Now() - taskStart)
+						res.Breakdown.Record(map[stats.Stage]float64{
+							stats.StageNetwork:   up.TotalS + down.TotalS,
+							stats.StageExecution: r.ExecS + r.QueueS,
+						})
+					})
+				})
+			})
+			s.Eng.After(period*(0.8+0.4*rng.Float64()), submit)
+		}
+		s.Eng.At(start, submit)
+	}
+	s.Eng.RunUntil(durationS)
+	s.Eng.RunUntil(durationS + 120)
+	s.Fleet.Settle()
+	s.Fleet.StopAll()
+	s.Eng.Run()
+	res.BatteryMean = s.Fleet.MeanBatteryConsumed()
+	res.BatteryMax = s.Fleet.MaxBatteryConsumed()
+	bw := s.Net.Wireless.Meter().RateSample(durationS)
+	res.BWMeanMBps = bw.Mean() / 1e6
+	res.BWp99MBps = bw.Percentile(99) / 1e6
+	return res
+}

@@ -1,0 +1,362 @@
+package platform
+
+import (
+	"testing"
+
+	"hivemind/internal/apps"
+)
+
+func mustProfile(t *testing.T, id apps.ID) apps.Profile {
+	t.Helper()
+	p, ok := apps.ByID(id)
+	if !ok {
+		t.Fatalf("missing profile %s", id)
+	}
+	return p
+}
+
+func TestPresetKinds(t *testing.T) {
+	for _, k := range []SystemKind{CentralizedIaaS, CentralizedFaaS, DistributedEdge, HiveMind} {
+		o := Preset(k, 16, 1)
+		s := NewSystem(o)
+		if len(s.Fleet) != 16 {
+			t.Fatalf("%s: fleet = %d", k, len(s.Fleet))
+		}
+		if k.String() == "" {
+			t.Fatal("empty kind string")
+		}
+	}
+	if SystemKind(99).String() == "" {
+		t.Fatal("unknown kind string empty")
+	}
+}
+
+func TestHiveMindPresetEnablesStack(t *testing.T) {
+	o := Preset(HiveMind, 16, 1)
+	if !o.NetAccel || !o.RemoteMemAccel || !o.HybridPlacement || !o.IntraTaskPar {
+		t.Fatalf("hivemind preset incomplete: %+v", o)
+	}
+	s := NewSystem(o)
+	// Net accel frees the network-stack cores.
+	if s.Cluster.TotalCores() != 12*40 {
+		t.Fatalf("cores = %d, want all 480 with offload", s.Cluster.TotalCores())
+	}
+	// Baseline FaaS loses 4 cores per server to the software stack.
+	base := NewSystem(Preset(CentralizedFaaS, 16, 1))
+	if base.Cluster.TotalCores() != 12*36 {
+		t.Fatalf("baseline cores = %d", base.Cluster.TotalCores())
+	}
+}
+
+func TestPlacementDecisions(t *testing.T) {
+	hm := NewSystem(Preset(HiveMind, 16, 1))
+	cen := NewSystem(Preset(CentralizedFaaS, 16, 1))
+	dist := NewSystem(Preset(DistributedEdge, 16, 1))
+
+	face := mustProfile(t, apps.S1FaceRecognition)
+	obstacle := mustProfile(t, apps.S4ObstacleAvoid)
+	weather := mustProfile(t, apps.S7Weather)
+	droneRec := mustProfile(t, apps.S3DroneDetection)
+
+	if got := cen.PlaceFor(face); got != TierCloud {
+		t.Fatalf("centralized face = %s", got)
+	}
+	if got := dist.PlaceFor(face); got != TierEdge {
+		t.Fatalf("distributed face = %s", got)
+	}
+	if got := hm.PlaceFor(face); got != TierHybrid {
+		t.Fatalf("hivemind face = %s", got)
+	}
+	// §2.1: obstacle avoidance always on-board under HiveMind.
+	if got := hm.PlaceFor(obstacle); got != TierEdge {
+		t.Fatalf("hivemind obstacle = %s", got)
+	}
+	// Light tasks stay local under HiveMind (§2.3 exceptions S3, S7).
+	if got := hm.PlaceFor(weather); got != TierEdge {
+		t.Fatalf("hivemind weather = %s", got)
+	}
+	if got := hm.PlaceFor(droneRec); got != TierEdge {
+		t.Fatalf("hivemind drone detection = %s", got)
+	}
+	if TierCloud.String() != "cloud" || TierEdge.String() != "edge" || TierHybrid.String() != "hybrid" {
+		t.Fatal("placement strings")
+	}
+}
+
+func TestSubmitTaskCloudPath(t *testing.T) {
+	s := NewSystem(Preset(CentralizedFaaS, 4, 1))
+	face := mustProfile(t, apps.S1FaceRecognition)
+	var m TaskMetrics
+	got := false
+	s.SubmitTask(face, s.Fleet[0], SubmitOpts{}, func(tm TaskMetrics) { m = tm; got = true })
+	s.Eng.RunUntil(30)
+	if !got {
+		t.Fatal("task did not complete")
+	}
+	if m.Network <= 0 || m.Mgmt <= 0 || m.Exec <= 0 || m.DataIO <= 0 {
+		t.Fatalf("missing stages: %+v", m)
+	}
+	if m.Placement != TierCloud || m.Dropped {
+		t.Fatalf("metrics: %+v", m)
+	}
+	if m.TotalS() < m.Network+m.Exec {
+		t.Fatalf("total %g below component sum", m.TotalS())
+	}
+}
+
+func TestSubmitTaskEdgePath(t *testing.T) {
+	s := NewSystem(Preset(DistributedEdge, 4, 1))
+	weather := mustProfile(t, apps.S7Weather)
+	var m TaskMetrics
+	s.SubmitTask(weather, s.Fleet[0], SubmitOpts{}, func(tm TaskMetrics) { m = tm })
+	s.Eng.RunUntil(30)
+	if m.Placement != TierEdge || m.Mgmt != 0 || m.DataIO != 0 {
+		t.Fatalf("edge task metrics: %+v", m)
+	}
+	if m.Exec < weather.EdgeExecS/2 {
+		t.Fatalf("edge exec = %g", m.Exec)
+	}
+	// Only the small output crosses the network.
+	if m.Network <= 0 || m.Network > 0.1 {
+		t.Fatalf("edge network = %g", m.Network)
+	}
+}
+
+func TestSubmitTaskHybridPath(t *testing.T) {
+	s := NewSystem(Preset(HiveMind, 4, 1))
+	face := mustProfile(t, apps.S1FaceRecognition)
+	var m TaskMetrics
+	s.SubmitTask(face, s.Fleet[0], SubmitOpts{}, func(tm TaskMetrics) { m = tm })
+	s.Eng.RunUntil(30)
+	if m.Placement != TierHybrid {
+		t.Fatalf("placement = %s", m.Placement)
+	}
+	// Hybrid must ship less than the full payload: compare with the
+	// centralized network time for the same task under an idle network.
+	cen := NewSystem(Preset(CentralizedFaaS, 4, 1))
+	var cm TaskMetrics
+	cen.SubmitTask(face, cen.Fleet[0], SubmitOpts{}, func(tm TaskMetrics) { cm = tm })
+	cen.Eng.RunUntil(30)
+	if m.Network >= cm.Network {
+		t.Fatalf("hybrid network %g not below centralized %g", m.Network, cm.Network)
+	}
+}
+
+func TestForcePlacementOverride(t *testing.T) {
+	s := NewSystem(Preset(CentralizedFaaS, 4, 1))
+	face := mustProfile(t, apps.S1FaceRecognition)
+	edge := TierEdge
+	var m TaskMetrics
+	s.SubmitTask(face, s.Fleet[0], SubmitOpts{ForcePlacement: &edge}, func(tm TaskMetrics) { m = tm })
+	s.Eng.RunUntil(60)
+	if m.Placement != TierEdge {
+		t.Fatalf("override ignored: %s", m.Placement)
+	}
+}
+
+func TestRunJobProducesAggregates(t *testing.T) {
+	s := NewSystem(Preset(CentralizedFaaS, 8, 3))
+	res := s.RunJob(mustProfile(t, apps.S7Weather), 30)
+	if res.Completed == 0 || res.Latency.N() != res.Completed {
+		t.Fatalf("completed=%d latencies=%d", res.Completed, res.Latency.N())
+	}
+	if res.Submitted < res.Completed {
+		t.Fatalf("submitted %d < completed %d", res.Submitted, res.Completed)
+	}
+	if res.BatteryMean <= 0 || res.BatteryMax < res.BatteryMean {
+		t.Fatalf("battery mean=%g max=%g", res.BatteryMean, res.BatteryMax)
+	}
+	if res.BWMeanMBps <= 0 {
+		t.Fatalf("bandwidth = %g", res.BWMeanMBps)
+	}
+	if res.Breakdown.N() != res.Completed {
+		t.Fatalf("breakdown n = %d", res.Breakdown.N())
+	}
+}
+
+func TestDistributedOverloadDropsHeavyTasks(t *testing.T) {
+	s := NewSystem(Preset(DistributedEdge, 8, 3))
+	res := s.RunJob(mustProfile(t, apps.S1FaceRecognition), 60)
+	if res.Dropped == 0 {
+		t.Fatal("overloaded edge devices should drop tasks")
+	}
+	if res.Completed == 0 {
+		t.Fatal("some tasks should still complete")
+	}
+}
+
+func TestCentralizedVsDistributedLatencyShape(t *testing.T) {
+	// Fig. 4: centralized beats distributed for heavy jobs; obstacle
+	// avoidance is better at the edge.
+	face := mustProfile(t, apps.S1FaceRecognition)
+	cen := NewSystem(Preset(CentralizedFaaS, 16, 5)).RunJob(face, 60)
+	dist := NewSystem(Preset(DistributedEdge, 16, 5)).RunJob(face, 60)
+	if cen.Latency.Median() >= dist.Latency.Median() {
+		t.Fatalf("centralized face median %g not below distributed %g",
+			cen.Latency.Median(), dist.Latency.Median())
+	}
+	obstacle := mustProfile(t, apps.S4ObstacleAvoid)
+	cenO := NewSystem(Preset(CentralizedFaaS, 16, 5)).RunJob(obstacle, 60)
+	distO := NewSystem(Preset(DistributedEdge, 16, 5)).RunJob(obstacle, 60)
+	if distO.Latency.Median() >= cenO.Latency.Median() {
+		t.Fatalf("edge obstacle median %g not below centralized %g",
+			distO.Latency.Median(), cenO.Latency.Median())
+	}
+}
+
+func TestHiveMindBeatsCentralizedOnHeavyJob(t *testing.T) {
+	face := mustProfile(t, apps.S1FaceRecognition)
+	hm := NewSystem(Preset(HiveMind, 16, 7)).RunJob(face, 60)
+	cen := NewSystem(Preset(CentralizedFaaS, 16, 7)).RunJob(face, 60)
+	if hm.Latency.Median() >= cen.Latency.Median() {
+		t.Fatalf("hivemind median %g not below centralized %g",
+			hm.Latency.Median(), cen.Latency.Median())
+	}
+	// Fig. 14b: HiveMind uses less wireless bandwidth than centralized.
+	if hm.BWMeanMBps >= cen.BWMeanMBps {
+		t.Fatalf("hivemind bandwidth %g not below centralized %g",
+			hm.BWMeanMBps, cen.BWMeanMBps)
+	}
+	// Fig. 14a: and less battery.
+	if hm.BatteryMean >= cen.BatteryMean {
+		t.Fatalf("hivemind battery %g not below centralized %g",
+			hm.BatteryMean, cen.BatteryMean)
+	}
+}
+
+func TestDistributedDrainsBatteryFastest(t *testing.T) {
+	face := mustProfile(t, apps.S1FaceRecognition)
+	dist := NewSystem(Preset(DistributedEdge, 16, 9)).RunJob(face, 60)
+	cen := NewSystem(Preset(CentralizedFaaS, 16, 9)).RunJob(face, 60)
+	if dist.BatteryMean <= cen.BatteryMean {
+		t.Fatalf("distributed battery %g not above centralized %g",
+			dist.BatteryMean, cen.BatteryMean)
+	}
+}
+
+func TestReservedJobBaseline(t *testing.T) {
+	s := NewSystem(Preset(CentralizedIaaS, 8, 3))
+	res := s.ReservedJob(mustProfile(t, apps.S1FaceRecognition), 40, 0)
+	if res.Completed == 0 {
+		t.Fatal("no completions")
+	}
+	if res.Latency.N() == 0 || res.BWMeanMBps <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	// Serverless (with intra-task parallelism) should beat the fixed
+	// pool (Fig. 5a shape).
+	sf := NewSystem(Preset(CentralizedFaaS, 8, 3))
+	fr := sf.RunJob(mustProfile(t, apps.S1FaceRecognition), 40)
+	if fr.Latency.Median() >= res.Latency.Median() {
+		t.Fatalf("serverless median %g not below reserved %g",
+			fr.Latency.Median(), res.Latency.Median())
+	}
+}
+
+func TestWirelessScaleOption(t *testing.T) {
+	o := Preset(HiveMind, 16, 1)
+	o.WirelessScale = 4
+	s := NewSystem(o)
+	if got := s.Net.Wireless.Capacity(); got != o.NetCfg.WirelessBps*4 {
+		t.Fatalf("capacity = %g", got)
+	}
+}
+
+func TestDeterministicRunJob(t *testing.T) {
+	run := func() float64 {
+		s := NewSystem(Preset(HiveMind, 8, 42))
+		return s.RunJob(mustProfile(t, apps.S3DroneDetection), 30).Latency.Mean()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %g vs %g", a, b)
+	}
+}
+
+func TestZeroDevicesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	NewSystem(Options{Devices: 0})
+}
+
+func TestPublicCloudModeDegradesGracefully(t *testing.T) {
+	// §4.8: without control of physical machines HiveMind loses
+	// colocation and acceleration but keeps hybrid placement; it should
+	// land between the full system and the centralized baseline.
+	face := mustProfile(t, apps.S1FaceRecognition)
+	full := NewSystem(Preset(HiveMind, 16, 17)).RunJob(face, 60)
+	pub := func() JobResult {
+		o := Preset(HiveMind, 16, 17)
+		o.PublicCloud = true
+		return NewSystem(o).RunJob(face, 60)
+	}()
+	cen := NewSystem(Preset(CentralizedFaaS, 16, 17)).RunJob(face, 60)
+	if pub.Latency.Median() <= full.Latency.Median() {
+		t.Fatalf("public cloud %.3f should be slower than full hivemind %.3f",
+			pub.Latency.Median(), full.Latency.Median())
+	}
+	if pub.Latency.Median() >= cen.Latency.Median() {
+		t.Fatalf("public cloud %.3f should still beat centralized %.3f",
+			pub.Latency.Median(), cen.Latency.Median())
+	}
+}
+
+func TestPublicCloudDisablesHardwareFeatures(t *testing.T) {
+	o := Preset(HiveMind, 4, 1)
+	o.PublicCloud = true
+	s := NewSystem(o)
+	// Network-stack cores are not freed without the FPGA offload.
+	if s.Cluster.TotalCores() != 12*36 {
+		t.Fatalf("cores = %d, want 432 (no offload)", s.Cluster.TotalCores())
+	}
+	if s.Net.Config().RPCAccel {
+		t.Fatal("RPC accel should be off in public cloud mode")
+	}
+}
+
+func TestMultiTenantJobs(t *testing.T) {
+	// §2.1: "the platform supports multi-tenancy". Run a heavy and a
+	// light job concurrently; both must complete and contend for shared
+	// resources.
+	s := NewSystem(Preset(HiveMind, 8, 23))
+	face := mustProfile(t, apps.S1FaceRecognition)
+	weather := mustProfile(t, apps.S7Weather)
+	results := s.RunJobs([]apps.Profile{face, weather}, 40)
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, r := range results {
+		if r.Completed == 0 {
+			t.Fatalf("job %d had no completions", i)
+		}
+	}
+	if results[0].App != apps.S1FaceRecognition || results[1].App != apps.S7Weather {
+		t.Fatal("result order broken")
+	}
+	// Contention check: weather under multi-tenancy should not beat its
+	// isolated run by much, and must be slower or equal on average.
+	iso := NewSystem(Preset(HiveMind, 8, 23)).RunJob(weather, 40)
+	if results[1].Latency.Median() < iso.Latency.Median()*0.8 {
+		t.Fatalf("shared run faster than isolated: %.3f vs %.3f",
+			results[1].Latency.Median(), iso.Latency.Median())
+	}
+}
+
+func TestSynthesizedPlacementMatchesRules(t *testing.T) {
+	// The programmatic synthesis path (§4.2 explorer over the canonical
+	// collect→process graph) must agree with the encoded placement rules
+	// HiveMind systems use, across the whole benchmark suite.
+	hm := NewSystem(Preset(HiveMind, 16, 1))
+	for _, p := range apps.All() {
+		want := hm.PlaceFor(p)
+		got, err := SynthesizePlacement(p, 16)
+		if err != nil {
+			t.Fatalf("%s: %v", p.ID, err)
+		}
+		if got != want {
+			t.Errorf("%s: synthesis says %s, rules say %s", p.ID, got, want)
+		}
+	}
+}

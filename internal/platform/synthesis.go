@@ -1,0 +1,66 @@
+package platform
+
+import (
+	"hivemind/internal/apps"
+	"hivemind/internal/dsl"
+	"hivemind/internal/synth"
+)
+
+// SynthesizePlacement runs the real placement explorer (§4.2) over a
+// single-tier application expressed as the canonical two-task graph
+// (on-device sensor collection → processing tier) and returns where the
+// processing tier should run. This is the programmatic path behind
+// System.PlaceFor: the hand-written placement rules and the
+// synthesizer's choices must agree (asserted by tests), so systems can
+// use either.
+//
+// The returned placement is TierEdge when the explorer keeps the
+// processing on-device, and TierHybrid when it offloads (HiveMind
+// always pairs offload with on-board preprocessing).
+func SynthesizePlacement(p apps.Profile, devices int) (TierPlacement, error) {
+	b := dsl.NewGraph(string(p.ID)).
+		Task("collect").
+		Task("process", dsl.WithParents("collect"))
+	if p.PinEdge {
+		b.Place("process", dsl.PlaceEdge, true)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return TierCloud, err
+	}
+	costs := map[string]synth.TaskCost{
+		"collect": {
+			CloudExecS: 0.001, EdgeExecS: 0.001, Parallelism: 1,
+			OutputMB: p.InputMB, RatePerDev: p.TaskRatePerDevice, Sensor: true,
+		},
+		"process": {
+			CloudExecS: p.CloudExecS, EdgeExecS: p.EdgeExecS,
+			Parallelism: p.Parallelism, InputMB: p.InputMB,
+			OutputMB: p.OutputMB, RatePerDev: p.TaskRatePerDevice,
+		},
+	}
+	cands, err := synth.Explore(g, costs, synth.DefaultEnv(devices))
+	if err != nil {
+		return TierCloud, err
+	}
+	// Choose the best candidate under the swarm-scalability preference:
+	// when a candidate stays within 1.4x of the best latency, prefer the
+	// one that puts less traffic on the shared wireless medium — the
+	// scarce resource that caps swarm size (§2.2, §5.6). This is why
+	// light tasks like drone detection and weather analytics stay
+	// on-board even though offloading them would be battery-neutral.
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if !c.Metrics.Feasible {
+			continue
+		}
+		if c.Metrics.LatencyS <= best.Metrics.LatencyS*1.4 &&
+			c.Metrics.NetworkMBps < best.Metrics.NetworkMBps {
+			best = c
+		}
+	}
+	if best.Assignment["process"] == synth.LocEdge {
+		return TierEdge, nil
+	}
+	return TierHybrid, nil
+}

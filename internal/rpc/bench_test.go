@@ -1,0 +1,63 @@
+package rpc
+
+import (
+	"sync"
+	"testing"
+)
+
+func benchPair(b *testing.B, callers int) *Client {
+	b.Helper()
+	srv := NewServer()
+	srv.Register("echo", func(p []byte) ([]byte, error) { return p, nil })
+	cc, sc := Pair()
+	srv.ServeConn(sc)
+	c := NewClient(cc, callers)
+	b.Cleanup(func() { c.Close(); srv.Close() })
+	return c
+}
+
+// BenchmarkCallSync64B measures small-RPC round trips over the
+// in-process transport (the software baseline the FPGA offload is
+// compared against).
+func BenchmarkCallSync64B(b *testing.B) {
+	c := benchPair(b, 8)
+	payload := make([]byte, 64)
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.CallSync("echo", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCallSync1MB measures bulk payload round trips.
+func BenchmarkCallSync1MB(b *testing.B) {
+	c := benchPair(b, 8)
+	payload := make([]byte, 1<<20)
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.CallSync("echo", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelinedCalls measures multiplexed in-flight throughput
+// through the caller pool.
+func BenchmarkPipelinedCalls(b *testing.B) {
+	c := benchPair(b, 64)
+	payload := make([]byte, 64)
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wg.Add(1)
+		call := c.Go("echo", payload, make(chan *Call, 1))
+		go func() {
+			defer wg.Done()
+			<-call.Done
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,373 @@
+// Package rpc is a from-scratch framed binary RPC framework standing in
+// for the Apache Thrift APIs the HiveMind compiler synthesizes for
+// edge<->cloud communication (§4.1), with the same structure as the
+// networking API of §4.5: an RPCServer with registered procedures and an
+// RPCClient that "encapsulates a pool of RPC caller threads that
+// concurrently call remote procedures registered in the RPCServer".
+//
+// The wire format is a simple length-prefixed frame:
+//
+//	uint32 frameLen | uint8 kind | uint64 callID | uint16 methodLen |
+//	method bytes    | payload bytes
+//
+// Payloads are opaque []byte so the generated cross-task APIs can choose
+// their own encoding. Transports are anything that yields a net.Conn:
+// TCP between machines, net.Pipe in-process.
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Frame kinds.
+const (
+	kindRequest  = 1
+	kindResponse = 2
+	kindError    = 3
+)
+
+// maxFrame bounds a frame to 64 MiB: larger than any sensor batch the
+// swarm ships, small enough to stop a corrupt length prefix from
+// exhausting memory.
+const maxFrame = 64 << 20
+
+// Common errors.
+var (
+	ErrClosed         = errors.New("rpc: connection closed")
+	ErrMethodNotFound = errors.New("rpc: method not found")
+)
+
+// Handler processes one request payload and returns a response payload.
+type Handler func(payload []byte) ([]byte, error)
+
+type frame struct {
+	kind    byte
+	callID  uint64
+	method  string
+	payload []byte
+}
+
+func writeFrame(w io.Writer, f frame) error {
+	if len(f.method) > 0xFFFF {
+		return errors.New("rpc: method name too long")
+	}
+	n := 1 + 8 + 2 + len(f.method) + len(f.payload)
+	if n > maxFrame {
+		return fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, 4+n)
+	binary.BigEndian.PutUint32(buf[0:4], uint32(n))
+	buf[4] = f.kind
+	binary.BigEndian.PutUint64(buf[5:13], f.callID)
+	binary.BigEndian.PutUint16(buf[13:15], uint16(len(f.method)))
+	copy(buf[15:], f.method)
+	copy(buf[15+len(f.method):], f.payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+func readFrame(r io.Reader) (frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 11 || n > maxFrame {
+		return frame{}, fmt.Errorf("rpc: invalid frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return frame{}, err
+	}
+	f := frame{kind: body[0], callID: binary.BigEndian.Uint64(body[1:9])}
+	mlen := int(binary.BigEndian.Uint16(body[9:11]))
+	if 11+mlen > int(n) {
+		return frame{}, errors.New("rpc: method length exceeds frame")
+	}
+	f.method = string(body[11 : 11+mlen])
+	f.payload = body[11+mlen:]
+	return f, nil
+}
+
+// Server dispatches registered procedures over accepted connections.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+
+	lnMu      sync.Mutex
+	listeners []net.Listener
+	conns     map[net.Conn]struct{}
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{handlers: make(map[string]Handler), conns: make(map[net.Conn]struct{})}
+}
+
+// Register binds a handler to a method name. Re-registering replaces the
+// handler.
+func (s *Server) Register(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = h
+}
+
+// Methods returns the registered method names (unordered).
+func (s *Server) Methods() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.handlers))
+	for m := range s.handlers {
+		out = append(out, m)
+	}
+	return out
+}
+
+// Serve accepts connections on ln until the listener or server is
+// closed. It blocks; run it in a goroutine.
+func (s *Server) Serve(ln net.Listener) error {
+	s.lnMu.Lock()
+	if s.closed {
+		s.lnMu.Unlock()
+		ln.Close()
+		return ErrClosed
+	}
+	s.listeners = append(s.listeners, ln)
+	s.lnMu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.lnMu.Lock()
+			closed := s.closed
+			s.lnMu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.ServeConn(conn)
+	}
+}
+
+// ServeConn serves a single connection asynchronously (e.g. one end of a
+// net.Pipe).
+func (s *Server) ServeConn(conn net.Conn) {
+	s.lnMu.Lock()
+	if s.closed {
+		s.lnMu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.wg.Add(1)
+	s.lnMu.Unlock()
+	go func() {
+		defer s.wg.Done()
+		defer func() {
+			s.lnMu.Lock()
+			delete(s.conns, conn)
+			s.lnMu.Unlock()
+			conn.Close()
+		}()
+		var writeMu sync.Mutex
+		for {
+			f, err := readFrame(conn)
+			if err != nil {
+				return
+			}
+			if f.kind != kindRequest {
+				continue
+			}
+			s.mu.RLock()
+			h, ok := s.handlers[f.method]
+			s.mu.RUnlock()
+			go func(f frame) {
+				var resp frame
+				if !ok {
+					resp = frame{kind: kindError, callID: f.callID, payload: []byte(ErrMethodNotFound.Error())}
+				} else if out, err := h(f.payload); err != nil {
+					resp = frame{kind: kindError, callID: f.callID, payload: []byte(err.Error())}
+				} else {
+					resp = frame{kind: kindResponse, callID: f.callID, payload: out}
+				}
+				writeMu.Lock()
+				defer writeMu.Unlock()
+				writeFrame(conn, resp) // best effort: conn teardown surfaces via read loop
+			}(f)
+		}
+	}()
+}
+
+// Close stops the server: listeners close, active connections drop, and
+// Close waits for connection goroutines to drain.
+func (s *Server) Close() {
+	s.lnMu.Lock()
+	if s.closed {
+		s.lnMu.Unlock()
+		return
+	}
+	s.closed = true
+	for _, ln := range s.listeners {
+		ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.lnMu.Unlock()
+	s.wg.Wait()
+}
+
+// Call is a pending RPC.
+type Call struct {
+	Method  string
+	Reply   []byte
+	Err     error
+	Done    chan *Call
+	replyTo uint64
+}
+
+// Client issues calls over one connection, multiplexing concurrent
+// requests by call id. A semaphore of size callers bounds in-flight
+// calls, mirroring the paper's caller-thread pool.
+type Client struct {
+	conn    net.Conn
+	writeMu sync.Mutex
+	nextID  atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]*Call
+	closed  bool
+	readErr error
+
+	sem chan struct{}
+}
+
+// NewClient wraps an established connection with a caller pool of the
+// given size (<=0 means 64).
+func NewClient(conn net.Conn, callers int) *Client {
+	if callers <= 0 {
+		callers = 64
+	}
+	c := &Client{conn: conn, pending: make(map[uint64]*Call), sem: make(chan struct{}, callers)}
+	go c.readLoop()
+	return c
+}
+
+// Dial connects to a server over TCP.
+func Dial(addr string, callers int) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn, callers), nil
+}
+
+func (c *Client) readLoop() {
+	for {
+		f, err := readFrame(c.conn)
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		c.mu.Lock()
+		call := c.pending[f.callID]
+		delete(c.pending, f.callID)
+		c.mu.Unlock()
+		if call == nil {
+			continue
+		}
+		switch f.kind {
+		case kindResponse:
+			call.Reply = f.payload
+		case kindError:
+			call.Err = errors.New(string(f.payload))
+		default:
+			call.Err = fmt.Errorf("rpc: unexpected frame kind %d", f.kind)
+		}
+		call.finish()
+	}
+}
+
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	c.closed = true
+	c.readErr = err
+	pend := c.pending
+	c.pending = make(map[uint64]*Call)
+	c.mu.Unlock()
+	for _, call := range pend {
+		call.Err = ErrClosed
+		call.finish()
+	}
+}
+
+func (call *Call) finish() {
+	select {
+	case call.Done <- call:
+	default:
+		// Done channel must be buffered; drop rather than block.
+	}
+}
+
+// Go starts an asynchronous call. done may be nil, in which case a
+// buffered channel is allocated. The returned Call is delivered on its
+// Done channel when complete.
+func (c *Client) Go(method string, payload []byte, done chan *Call) *Call {
+	if done == nil {
+		done = make(chan *Call, 1)
+	}
+	call := &Call{Method: method, Done: done}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		call.Err = ErrClosed
+		call.finish()
+		return call
+	}
+	id := c.nextID.Add(1)
+	call.replyTo = id
+	c.pending[id] = call
+	c.mu.Unlock()
+
+	c.sem <- struct{}{}
+	c.writeMu.Lock()
+	err := writeFrame(c.conn, frame{kind: kindRequest, callID: id, method: method, payload: payload})
+	c.writeMu.Unlock()
+	<-c.sem
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		call.Err = err
+		call.finish()
+	}
+	return call
+}
+
+// CallSync performs a blocking call.
+func (c *Client) CallSync(method string, payload []byte) ([]byte, error) {
+	call := <-c.Go(method, payload, nil).Done
+	return call.Reply, call.Err
+}
+
+// Close tears down the connection; outstanding calls fail with
+// ErrClosed.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	c.failAll(ErrClosed)
+	return err
+}
+
+// Pair returns a connected in-process client/server conn pair, the
+// "same container" fast path.
+func Pair() (clientConn, serverConn net.Conn) {
+	return net.Pipe()
+}

@@ -1,0 +1,254 @@
+package rpc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func pipeClientServer(t *testing.T, srv *Server, callers int) *Client {
+	t.Helper()
+	cc, sc := Pair()
+	srv.ServeConn(sc)
+	c := NewClient(cc, callers)
+	t.Cleanup(func() { c.Close(); srv.Close() })
+	return c
+}
+
+func echoServer() *Server {
+	s := NewServer()
+	s.Register("echo", func(p []byte) ([]byte, error) { return p, nil })
+	s.Register("fail", func(p []byte) ([]byte, error) { return nil, errors.New("boom") })
+	return s
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := frame{kind: kindRequest, callID: 42, method: "faceRecognition", payload: []byte("payload")}
+	if err := writeFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.kind != in.kind || out.callID != in.callID || out.method != in.method || string(out.payload) != "payload" {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestFrameRejectsOversize(t *testing.T) {
+	err := writeFrame(&bytes.Buffer{}, frame{payload: make([]byte, maxFrame)})
+	if err == nil {
+		t.Fatal("oversize frame accepted")
+	}
+	// Corrupt length prefix on read side.
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := readFrame(&buf); err == nil {
+		t.Fatal("corrupt length accepted")
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, frame{kind: kindResponse, callID: 7}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.callID != 7 || len(f.payload) != 0 || f.method != "" {
+		t.Fatalf("frame = %+v", f)
+	}
+}
+
+func TestCallSyncEcho(t *testing.T) {
+	c := pipeClientServer(t, echoServer(), 4)
+	reply, err := c.CallSync("echo", []byte("hello swarm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "hello swarm" {
+		t.Fatalf("reply = %q", reply)
+	}
+}
+
+func TestCallHandlerError(t *testing.T) {
+	c := pipeClientServer(t, echoServer(), 4)
+	_, err := c.CallSync("fail", nil)
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCallMethodNotFound(t *testing.T) {
+	c := pipeClientServer(t, echoServer(), 4)
+	_, err := c.CallSync("nope", nil)
+	if err == nil || !strings.Contains(err.Error(), "method not found") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAsyncCallsComplete(t *testing.T) {
+	c := pipeClientServer(t, echoServer(), 8)
+	const n = 50
+	done := make(chan *Call, n)
+	for i := 0; i < n; i++ {
+		c.Go("echo", []byte(fmt.Sprintf("msg-%d", i)), done)
+	}
+	seen := map[string]bool{}
+	for i := 0; i < n; i++ {
+		call := <-done
+		if call.Err != nil {
+			t.Fatal(call.Err)
+		}
+		seen[string(call.Reply)] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("distinct replies = %d", len(seen))
+	}
+}
+
+func TestConcurrentCallersMultiplex(t *testing.T) {
+	srv := NewServer()
+	srv.Register("slow", func(p []byte) ([]byte, error) {
+		time.Sleep(10 * time.Millisecond)
+		return p, nil
+	})
+	c := pipeClientServer(t, srv, 16)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.CallSync("slow", []byte("x")); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	// 16 concurrent 10ms calls should overlap, not serialize to 160ms.
+	if elapsed := time.Since(start); elapsed > 120*time.Millisecond {
+		t.Fatalf("calls serialized: %v", elapsed)
+	}
+}
+
+func TestClientCloseFailsPending(t *testing.T) {
+	srv := NewServer()
+	block := make(chan struct{})
+	srv.Register("block", func(p []byte) ([]byte, error) {
+		<-block
+		return nil, nil
+	})
+	cc, sc := Pair()
+	srv.ServeConn(sc)
+	c := NewClient(cc, 4)
+	call := c.Go("block", nil, nil)
+	time.Sleep(5 * time.Millisecond)
+	c.Close()
+	select {
+	case <-call.Done:
+		if !errors.Is(call.Err, ErrClosed) {
+			t.Fatalf("err = %v", call.Err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("pending call not failed on close")
+	}
+	close(block)
+	srv.Close()
+}
+
+func TestCallAfterCloseFailsFast(t *testing.T) {
+	c := pipeClientServer(t, echoServer(), 4)
+	c.Close()
+	if _, err := c.CallSync("echo", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestServerOverTCP(t *testing.T) {
+	srv := echoServer()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	c, err := Dial(ln.Addr().String(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	reply, err := c.CallSync("echo", []byte("over tcp"))
+	if err != nil || string(reply) != "over tcp" {
+		t.Fatalf("reply=%q err=%v", reply, err)
+	}
+}
+
+func TestServerCloseUnblocksServe(t *testing.T) {
+	srv := echoServer()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ln) }()
+	time.Sleep(10 * time.Millisecond)
+	srv.Close()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("Serve returned %v after Close", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+}
+
+func TestServeConnAfterCloseRejected(t *testing.T) {
+	srv := echoServer()
+	srv.Close()
+	cc, sc := Pair()
+	srv.ServeConn(sc)
+	c := NewClient(cc, 1)
+	defer c.Close()
+	if _, err := c.CallSync("echo", nil); err == nil {
+		t.Fatal("call succeeded on closed server")
+	}
+}
+
+func TestRegisterReplacesHandler(t *testing.T) {
+	srv := NewServer()
+	srv.Register("m", func(p []byte) ([]byte, error) { return []byte("v1"), nil })
+	srv.Register("m", func(p []byte) ([]byte, error) { return []byte("v2"), nil })
+	c := pipeClientServer(t, srv, 2)
+	reply, err := c.CallSync("m", nil)
+	if err != nil || string(reply) != "v2" {
+		t.Fatalf("reply=%q err=%v", reply, err)
+	}
+	if got := srv.Methods(); len(got) != 1 || got[0] != "m" {
+		t.Fatalf("methods = %v", got)
+	}
+}
+
+// Property: arbitrary binary payloads echo back unchanged over the full
+// client/server stack.
+func TestEchoPayloadFidelityProperty(t *testing.T) {
+	c := pipeClientServer(t, echoServer(), 8)
+	prop := func(payload []byte) bool {
+		reply, err := c.CallSync("echo", payload)
+		return err == nil && bytes.Equal(reply, payload)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

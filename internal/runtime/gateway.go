@@ -1,0 +1,64 @@
+package runtime
+
+import (
+	"context"
+	"time"
+
+	"hivemind/internal/rpc"
+)
+
+// Gateway exposes a Runtime's functions over the RPC framework — the
+// real edge→cloud invocation path: devices call the synthesized RPC
+// APIs (internal/rpc), the gateway dispatches into the serverless
+// runtime, exactly the NGINX-front-end role in the OpenWhisk pipeline.
+type Gateway struct {
+	rt      *Runtime
+	srv     *rpc.Server
+	timeout time.Duration
+}
+
+// NewGateway wraps a runtime with an RPC front door. timeout bounds
+// each invocation (0 = no deadline).
+func NewGateway(rt *Runtime, timeout time.Duration) *Gateway {
+	return &Gateway{rt: rt, srv: rpc.NewServer(), timeout: timeout}
+}
+
+// Server returns the underlying RPC server (serve it on a listener or
+// an in-process pipe).
+func (g *Gateway) Server() *rpc.Server { return g.srv }
+
+// Expose registers a runtime function under an RPC method name. The
+// function must already be registered on the runtime.
+func (g *Gateway) Expose(method, function string) {
+	g.srv.Register(method, func(payload []byte) ([]byte, error) {
+		ctx := context.Background()
+		if g.timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, g.timeout)
+			defer cancel()
+		}
+		res, err := g.rt.Invoke(ctx, function, payload)
+		if err != nil {
+			return nil, err
+		}
+		return res.Output, nil
+	})
+}
+
+// ExposeChain registers an RPC method that runs a multi-tier pipeline
+// through the store-backed chain (one edge call triggers the whole
+// cloud-side task graph, as the generated FaaS bindings do).
+func (g *Gateway) ExposeChain(method string, functions []string) {
+	g.srv.Register(method, func(payload []byte) ([]byte, error) {
+		ctx := context.Background()
+		if g.timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, g.timeout)
+			defer cancel()
+		}
+		return g.rt.Chain(ctx, method, functions, payload)
+	})
+}
+
+// Close shuts the RPC server down (the runtime is left to its owner).
+func (g *Gateway) Close() { g.srv.Close() }

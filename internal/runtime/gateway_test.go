@@ -1,0 +1,104 @@
+package runtime
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"hivemind/internal/rpc"
+)
+
+func gatewayPair(t *testing.T, g *Gateway) *rpc.Client {
+	t.Helper()
+	cc, sc := rpc.Pair()
+	g.Server().ServeConn(sc)
+	c := rpc.NewClient(cc, 8)
+	t.Cleanup(func() { c.Close(); g.Close() })
+	return c
+}
+
+func TestGatewayExpose(t *testing.T) {
+	rt := New(DefaultConfig(), nil)
+	defer rt.Close()
+	rt.Register("upper", func(ctx context.Context, in []byte) ([]byte, error) {
+		return bytes.ToUpper(in), nil
+	})
+	g := NewGateway(rt, time.Second)
+	g.Expose("collectImage.recognize", "upper")
+	c := gatewayPair(t, g)
+
+	out, err := c.CallSync("collectImage.recognize", []byte("swarm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "SWARM" {
+		t.Fatalf("out = %q", out)
+	}
+	if rt.Stats().Invocations != 1 {
+		t.Fatal("runtime not invoked through gateway")
+	}
+}
+
+func TestGatewayPropagatesErrors(t *testing.T) {
+	rt := New(DefaultConfig(), nil)
+	defer rt.Close()
+	g := NewGateway(rt, time.Second)
+	g.Expose("m", "unregistered")
+	c := gatewayPair(t, g)
+	if _, err := c.CallSync("m", nil); err == nil || !strings.Contains(err.Error(), "not registered") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGatewayTimeout(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Retries = 0
+	rt := New(cfg, nil)
+	defer rt.Close()
+	rt.Register("slow", func(ctx context.Context, in []byte) ([]byte, error) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(5 * time.Second):
+			return nil, nil
+		}
+	})
+	g := NewGateway(rt, 30*time.Millisecond)
+	g.Expose("m", "slow")
+	c := gatewayPair(t, g)
+	start := time.Now()
+	_, err := c.CallSync("m", nil)
+	if err == nil {
+		t.Fatal("slow call succeeded past its deadline")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("deadline not enforced promptly")
+	}
+}
+
+func TestGatewayChain(t *testing.T) {
+	rt := New(DefaultConfig(), nil)
+	defer rt.Close()
+	rt.Register("trim", func(ctx context.Context, in []byte) ([]byte, error) {
+		return bytes.TrimSpace(in), nil
+	})
+	rt.Register("upper", func(ctx context.Context, in []byte) ([]byte, error) {
+		return bytes.ToUpper(in), nil
+	})
+	g := NewGateway(rt, time.Second)
+	g.ExposeChain("pipeline", []string{"trim", "upper"})
+	c := gatewayPair(t, g)
+	out, err := c.CallSync("pipeline", []byte("  people  "))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "PEOPLE" {
+		t.Fatalf("out = %q", out)
+	}
+	// Intermediate tier outputs persisted through the store.
+	if _, err := rt.Store().Get("out/trim/pipeline"); err != nil {
+		t.Fatal("chain did not persist intermediates")
+	}
+}

@@ -1,0 +1,383 @@
+// Package runtime is a real, in-process serverless runtime: the
+// executable counterpart of the simulated platform in internal/faas.
+// Functions are Go closures executed on goroutines with the semantics
+// the paper's backend provides — bounded user concurrency, cold/warm
+// container instances with keep-alive reuse (§4.3), inter-function data
+// exchange through the revisioned document store (OpenWhisk's CouchDB
+// pattern, §3.3) or in-memory when chained in the same instance,
+// automatic retry of failed functions (§3.2), and straggler duplicates
+// that race the original and keep the first result (§4.6).
+//
+// It exists so HiveMind applications can be *run*, not only simulated:
+// the examples and the cross-tier API stubs the compiler generates bind
+// against this runtime for cloud tiers and internal/rpc for edge tiers.
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hivemind/internal/store"
+)
+
+// Function is a serverless function body. Implementations must be safe
+// for concurrent invocation and idempotent if straggler duplication is
+// enabled.
+type Function func(ctx context.Context, input []byte) ([]byte, error)
+
+// Config tunes the runtime.
+type Config struct {
+	// MaxInFlight bounds concurrent executions (default 1000, the AWS
+	// Lambda default the paper cites).
+	MaxInFlight int
+	// KeepAlive is how long an idle instance survives before teardown
+	// (0: torn down immediately — stock OpenWhisk behaviour).
+	KeepAlive time.Duration
+	// ColdStart and WarmStart emulate instance provisioning costs so
+	// applications experience realistic latency profiles even when the
+	// function body is trivial. Zero values disable the delays.
+	ColdStart time.Duration
+	WarmStart time.Duration
+	// Retries is how many times a failed function is respawned before
+	// the error is surfaced (§3.2: OpenWhisk respawns failed tasks).
+	Retries int
+	// StragglerAfter, if positive, spawns a duplicate execution when the
+	// original has run this long; the first finisher wins (§4.6).
+	StragglerAfter time.Duration
+}
+
+// DefaultConfig mirrors the HiveMind backend settings.
+func DefaultConfig() Config {
+	return Config{
+		MaxInFlight: 1000,
+		KeepAlive:   20 * time.Second,
+		ColdStart:   0,
+		WarmStart:   0,
+		Retries:     3,
+	}
+}
+
+// Stats are the runtime's counters.
+type Stats struct {
+	Invocations uint64
+	ColdStarts  uint64
+	WarmStarts  uint64
+	Retries     uint64
+	Duplicates  uint64
+}
+
+// Runtime executes registered functions.
+type Runtime struct {
+	cfg Config
+
+	mu    sync.RWMutex
+	fns   map[string]Function
+	warm  map[string][]*instance
+	sem   chan struct{}
+	db    *store.DB
+	stats struct {
+		invocations atomic.Uint64
+		cold        atomic.Uint64
+		warmHits    atomic.Uint64
+		retries     atomic.Uint64
+		duplicates  atomic.Uint64
+	}
+	closed atomic.Bool
+}
+
+// instance is a warm "container": in-process, it is just an identity
+// that carries reuse bookkeeping and a private scratch space.
+type instance struct {
+	fn      string
+	scratch map[string][]byte
+	timer   *time.Timer
+	dead    bool
+}
+
+// New creates a runtime backed by the given document store (nil: a
+// fresh in-memory store).
+func New(cfg Config, db *store.DB) *Runtime {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 1000
+	}
+	if db == nil {
+		db = store.NewDB()
+	}
+	return &Runtime{
+		cfg:  cfg,
+		fns:  map[string]Function{},
+		warm: map[string][]*instance{},
+		sem:  make(chan struct{}, cfg.MaxInFlight),
+		db:   db,
+	}
+}
+
+// Store exposes the runtime's document store (the inter-function data
+// plane).
+func (r *Runtime) Store() *store.DB { return r.db }
+
+// Register binds a function body to a name.
+func (r *Runtime) Register(name string, f Function) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fns[name] = f
+}
+
+// Stats returns a snapshot of the counters.
+func (r *Runtime) Stats() Stats {
+	return Stats{
+		Invocations: r.stats.invocations.Load(),
+		ColdStarts:  r.stats.cold.Load(),
+		WarmStarts:  r.stats.warmHits.Load(),
+		Retries:     r.stats.retries.Load(),
+		Duplicates:  r.stats.duplicates.Load(),
+	}
+}
+
+// Result reports one invocation.
+type Result struct {
+	Output  []byte
+	Cold    bool
+	Retries int
+	Latency time.Duration
+}
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("runtime: closed")
+
+// acquireInstance takes a warm instance or creates one.
+func (r *Runtime) acquireInstance(name string) (*instance, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	list := r.warm[name]
+	for len(list) > 0 {
+		inst := list[len(list)-1]
+		list = list[:len(list)-1]
+		if inst.dead {
+			continue
+		}
+		if inst.timer != nil {
+			inst.timer.Stop()
+			inst.timer = nil
+		}
+		r.warm[name] = list
+		return inst, true
+	}
+	r.warm[name] = list
+	return &instance{fn: name, scratch: map[string][]byte{}}, false
+}
+
+// releaseInstance parks an instance for reuse under keep-alive.
+func (r *Runtime) releaseInstance(inst *instance) {
+	if r.cfg.KeepAlive <= 0 || r.closed.Load() {
+		inst.dead = true
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.warm[inst.fn] = append(r.warm[inst.fn], inst)
+	inst.timer = time.AfterFunc(r.cfg.KeepAlive, func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		inst.dead = true
+	})
+}
+
+// Invoke runs a function synchronously with retries and optional
+// straggler duplication.
+func (r *Runtime) Invoke(ctx context.Context, name string, input []byte) (Result, error) {
+	if r.closed.Load() {
+		return Result{}, ErrClosed
+	}
+	r.mu.RLock()
+	fn, ok := r.fns[name]
+	r.mu.RUnlock()
+	if !ok {
+		return Result{}, fmt.Errorf("runtime: function %q not registered", name)
+	}
+
+	start := time.Now()
+	r.stats.invocations.Add(1)
+
+	select {
+	case r.sem <- struct{}{}:
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+	defer func() { <-r.sem }()
+
+	var res Result
+	attempts := r.cfg.Retries + 1
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		inst, warm := r.acquireInstance(name)
+		if warm {
+			r.stats.warmHits.Add(1)
+			if r.cfg.WarmStart > 0 {
+				sleepCtx(ctx, r.cfg.WarmStart)
+			}
+		} else {
+			r.stats.cold.Add(1)
+			res.Cold = true
+			if r.cfg.ColdStart > 0 {
+				sleepCtx(ctx, r.cfg.ColdStart)
+			}
+		}
+		out, err := r.execute(ctx, fn, input)
+		r.releaseInstance(inst)
+		if err == nil {
+			res.Output = out
+			res.Latency = time.Since(start)
+			res.Retries = attempt
+			return res, nil
+		}
+		lastErr = err
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			break
+		}
+		if attempt < attempts-1 {
+			r.stats.retries.Add(1)
+		}
+	}
+	res.Latency = time.Since(start)
+	return res, fmt.Errorf("runtime: %s failed after %d attempts: %w", name, attempts, lastErr)
+}
+
+// execute runs one attempt, racing a straggler duplicate if configured.
+func (r *Runtime) execute(ctx context.Context, fn Function, input []byte) ([]byte, error) {
+	if r.cfg.StragglerAfter <= 0 {
+		return safeCall(ctx, fn, input)
+	}
+	type outcome struct {
+		out []byte
+		err error
+	}
+	results := make(chan outcome, 2)
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	launch := func() {
+		out, err := safeCall(cctx, fn, input)
+		select {
+		case results <- outcome{out, err}:
+		default:
+		}
+	}
+	go launch()
+	dup := time.AfterFunc(r.cfg.StragglerAfter, func() {
+		r.stats.duplicates.Add(1)
+		go launch()
+	})
+	defer dup.Stop()
+	select {
+	case o := <-results:
+		return o.out, o.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// safeCall isolates panics in function bodies, converting them to
+// errors (a crashed container must not take the invoker down).
+func safeCall(ctx context.Context, fn Function, input []byte) (out []byte, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("runtime: function panicked: %v", p)
+		}
+	}()
+	return fn(ctx, input)
+}
+
+// Go runs an invocation asynchronously.
+func (r *Runtime) Go(ctx context.Context, name string, input []byte) <-chan InvocationOutcome {
+	ch := make(chan InvocationOutcome, 1)
+	go func() {
+		res, err := r.Invoke(ctx, name, input)
+		ch <- InvocationOutcome{Result: res, Err: err}
+	}()
+	return ch
+}
+
+// InvocationOutcome pairs a result with its error for async delivery.
+type InvocationOutcome struct {
+	Result Result
+	Err    error
+}
+
+// Chain runs a pipeline of functions, passing each output to the next
+// through the document store (each tier's output is persisted under
+// "out/<fn>/<chainID>", CouchDB-style) and returning the final output.
+func (r *Runtime) Chain(ctx context.Context, chainID string, names []string, input []byte) ([]byte, error) {
+	if len(names) == 0 {
+		return nil, errors.New("runtime: empty chain")
+	}
+	data := input
+	for _, name := range names {
+		res, err := r.Invoke(ctx, name, data)
+		if err != nil {
+			return nil, fmt.Errorf("chain %s at tier %s: %w", chainID, name, err)
+		}
+		key := fmt.Sprintf("out/%s/%s", name, chainID)
+		r.db.Force(key, res.Output)
+		doc, err := r.db.Get(key)
+		if err != nil {
+			return nil, fmt.Errorf("chain %s: re-reading %s: %w", chainID, key, err)
+		}
+		data = doc.Body
+	}
+	return data, nil
+}
+
+// FanOut invokes one function over many inputs concurrently (intra-task
+// parallelism, §3.2) and returns outputs in input order.
+func (r *Runtime) FanOut(ctx context.Context, name string, inputs [][]byte) ([][]byte, error) {
+	outs := make([][]byte, len(inputs))
+	errs := make([]error, len(inputs))
+	var wg sync.WaitGroup
+	for i, in := range inputs {
+		i, in := i, in
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := r.Invoke(ctx, name, in)
+			outs[i], errs[i] = res.Output, err
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return outs, nil
+}
+
+// Close stops accepting invocations and tears down warm instances.
+func (r *Runtime) Close() {
+	if !r.closed.CompareAndSwap(false, true) {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, list := range r.warm {
+		for _, inst := range list {
+			inst.dead = true
+			if inst.timer != nil {
+				inst.timer.Stop()
+			}
+		}
+	}
+	r.warm = map[string][]*instance{}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}

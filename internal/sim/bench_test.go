@@ -1,0 +1,42 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineEventThroughput measures raw event scheduling and
+// dispatch — the floor under every simulation in the repository.
+func BenchmarkEngineEventThroughput(b *testing.B) {
+	e := NewEngine(1)
+	count := 0
+	var next func()
+	next = func() {
+		count++
+		if count < b.N {
+			e.After(0.001, next)
+		}
+	}
+	b.ResetTimer()
+	e.At(0, next)
+	e.Run()
+}
+
+// BenchmarkEngineHeapPressure schedules a deep out-of-order backlog.
+func BenchmarkEngineHeapPressure(b *testing.B) {
+	e := NewEngine(1)
+	for i := 0; i < b.N; i++ {
+		e.At(float64((i*7919)%100000), func() {})
+	}
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkResourceQueueing pushes jobs through a contended multi-core
+// resource.
+func BenchmarkResourceQueueing(b *testing.B) {
+	e := NewEngine(1)
+	r := NewResource(e, 8)
+	for i := 0; i < b.N; i++ {
+		r.Use(0.01, nil)
+	}
+	b.ResetTimer()
+	e.Run()
+}

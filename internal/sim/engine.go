@@ -1,0 +1,223 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// The kernel is callback-based: model code schedules closures at virtual
+// times on an Engine, and the Engine executes them in time order (ties
+// broken by scheduling order, which makes runs with the same seed fully
+// deterministic). On top of the raw event loop the package provides
+// cancellable timers and multi-server FIFO resources with queueing
+// statistics — the building blocks for the queueing-network swarm
+// simulator described in Section 5.6 of the HiveMind paper.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is virtual simulation time in seconds.
+type Time = float64
+
+// Infinity is a time later than any event the simulator will ever reach.
+const Infinity Time = 1e18
+
+// event is a scheduled closure. seq breaks ties between events scheduled
+// for the same instant so execution order matches scheduling order.
+type event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	cancel bool
+	index  int // heap index, maintained by eventHeap
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation executive. It is not safe for
+// concurrent use; all model code runs on the caller's goroutine inside
+// Run / RunUntil.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+	steps   uint64
+}
+
+// NewEngine returns an engine at time zero with a deterministic RNG
+// seeded by seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Steps reports how many events have been executed so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Timer is a handle to a scheduled event that can be cancelled before it
+// fires.
+type Timer struct {
+	ev *event
+}
+
+// Cancel prevents the timer's callback from running. Cancelling an
+// already-fired or already-cancelled timer is a no-op. It reports whether
+// the callback was actually prevented.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.cancel || t.ev.index == -1 && t.ev.fn == nil {
+		return false
+	}
+	if t.ev.cancel {
+		return false
+	}
+	t.ev.cancel = true
+	return t.ev.index != -1
+}
+
+// Stopped reports whether the timer has been cancelled.
+func (t *Timer) Stopped() bool { return t == nil || t.ev == nil || t.ev.cancel }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics: it indicates a model bug that would silently corrupt causality.
+func (e *Engine) At(t Time, fn func()) *Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %g before now %g", t, e.now))
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d seconds from now. Negative delays are
+// clamped to zero.
+func (e *Engine) After(d Time, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Stop makes the current Run/RunUntil call return after the in-flight
+// event completes. Pending events remain queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports the number of events still queued (including cancelled
+// ones that have not yet been popped).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() { e.RunUntil(Infinity) }
+
+// RunUntil executes events with timestamps <= limit, then sets the clock
+// to limit (if the queue emptied earlier the clock stays at the last
+// event). It returns the number of events executed during this call.
+func (e *Engine) RunUntil(limit Time) uint64 {
+	e.stopped = false
+	var executed uint64
+	for len(e.events) > 0 && !e.stopped {
+		next := e.events[0]
+		if next.at > limit {
+			e.now = limit
+			return executed
+		}
+		heap.Pop(&e.events)
+		if next.cancel {
+			continue
+		}
+		e.now = next.at
+		fn := next.fn
+		next.fn = nil
+		fn()
+		e.steps++
+		executed++
+	}
+	if !e.stopped && limit < Infinity && limit > e.now {
+		e.now = limit
+	}
+	return executed
+}
+
+// Every schedules fn to run every period seconds starting at now+period,
+// until the returned Ticker is stopped. Jitter, if positive, adds a
+// uniform random offset in [0, jitter) to each firing, desynchronizing
+// periodic processes (heartbeats, monitors).
+func (e *Engine) Every(period, jitter Time, fn func()) *Ticker {
+	t := &Ticker{eng: e, period: period, jitter: jitter, fn: fn}
+	t.arm()
+	return t
+}
+
+// Ticker repeatedly schedules a callback. Stop it to end the cycle.
+type Ticker struct {
+	eng     *Engine
+	period  Time
+	jitter  Time
+	fn      func()
+	next    *Timer
+	stopped bool
+}
+
+func (t *Ticker) arm() {
+	d := t.period
+	if t.jitter > 0 {
+		d += t.eng.Rand().Float64() * t.jitter
+	}
+	t.next = t.eng.After(d, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop ends the ticker. Safe to call multiple times.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	if t.next != nil {
+		t.next.Cancel()
+	}
+}

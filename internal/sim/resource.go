@@ -1,0 +1,178 @@
+package sim
+
+// Resource is a multi-server FIFO queue: up to Capacity concurrent
+// holders, further requests wait in arrival order. It models CPU cores,
+// container slots, network ports — anything with finite parallelism.
+//
+// Resource tracks queueing statistics (waiting time, utilization,
+// time-averaged queue length) which the experiment drivers report.
+type Resource struct {
+	eng      *Engine
+	capacity int
+	busy     int
+	queue    []*request
+
+	// statistics
+	totalWait    Time
+	grants       uint64
+	busyIntegral Time // ∫ busy dt
+	qlenIntegral Time // ∫ len(queue) dt
+	lastStamp    Time
+	maxQueue     int
+}
+
+type request struct {
+	enqueued  Time
+	n         int
+	fn        func()
+	cancelled bool
+}
+
+// NewResource creates a resource with the given concurrent capacity.
+// Capacity must be positive.
+func NewResource(eng *Engine, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{eng: eng, capacity: capacity, lastStamp: eng.Now()}
+}
+
+// Capacity returns the configured number of servers.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns how many units are currently held.
+func (r *Resource) InUse() int { return r.busy }
+
+// QueueLen returns how many requests are waiting.
+func (r *Resource) QueueLen() int {
+	n := 0
+	for _, q := range r.queue {
+		if !q.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+func (r *Resource) stamp() {
+	now := r.eng.Now()
+	dt := now - r.lastStamp
+	if dt > 0 {
+		r.busyIntegral += Time(r.busy) * dt
+		r.qlenIntegral += Time(len(r.queue)) * dt
+		r.lastStamp = now
+	}
+}
+
+// Acquire requests one unit and calls fn when it is granted (possibly
+// synchronously, if a unit is free). The returned handle can cancel a
+// still-queued request.
+func (r *Resource) Acquire(fn func()) *Acquisition {
+	return r.AcquireN(1, fn)
+}
+
+// AcquireN requests n units granted atomically.
+func (r *Resource) AcquireN(n int, fn func()) *Acquisition {
+	if n <= 0 || n > r.capacity {
+		panic("sim: invalid acquire count")
+	}
+	r.stamp()
+	req := &request{enqueued: r.eng.Now(), n: n, fn: fn}
+	if len(r.queue) == 0 && r.busy+n <= r.capacity {
+		r.busy += n
+		r.grants++
+		fn()
+		return &Acquisition{res: r, req: req, granted: true}
+	}
+	r.queue = append(r.queue, req)
+	if len(r.queue) > r.maxQueue {
+		r.maxQueue = len(r.queue)
+	}
+	return &Acquisition{res: r, req: req}
+}
+
+// Release returns n units and dispatches queued requests that now fit.
+func (r *Resource) ReleaseN(n int) {
+	r.stamp()
+	r.busy -= n
+	if r.busy < 0 {
+		panic("sim: resource released more than acquired")
+	}
+	r.dispatch()
+}
+
+// Release returns one unit.
+func (r *Resource) Release() { r.ReleaseN(1) }
+
+func (r *Resource) dispatch() {
+	for len(r.queue) > 0 {
+		head := r.queue[0]
+		if head.cancelled {
+			r.queue = r.queue[1:]
+			continue
+		}
+		if r.busy+head.n > r.capacity {
+			return
+		}
+		r.queue = r.queue[1:]
+		r.busy += head.n
+		r.grants++
+		r.totalWait += r.eng.Now() - head.enqueued
+		head.fn()
+	}
+}
+
+// Use acquires one unit, holds it for service seconds, releases it, and
+// then calls done (which may be nil). It is the common "queue at a
+// station" primitive.
+func (r *Resource) Use(service Time, done func()) {
+	r.Acquire(func() {
+		r.eng.After(service, func() {
+			r.Release()
+			if done != nil {
+				done()
+			}
+		})
+	})
+}
+
+// Acquisition is a handle to a pending or granted acquire request.
+type Acquisition struct {
+	res     *Resource
+	req     *request
+	granted bool
+}
+
+// Cancel withdraws a still-queued request. It reports whether the request
+// was actually cancelled (false if it had already been granted).
+func (a *Acquisition) Cancel() bool {
+	if a.granted || a.req.cancelled {
+		return false
+	}
+	a.req.cancelled = true
+	return true
+}
+
+// Stats summarises a resource's queueing behaviour so far.
+type ResourceStats struct {
+	Grants       uint64  // total successful acquisitions
+	MeanWait     Time    // average time spent queued before grant
+	Utilization  float64 // time-averaged fraction of capacity in use
+	MeanQueueLen float64 // time-averaged queue length
+	MaxQueueLen  int
+}
+
+// Stats returns queueing statistics over [0, now).
+func (r *Resource) Stats() ResourceStats {
+	r.stamp()
+	elapsed := r.eng.Now()
+	s := ResourceStats{Grants: r.grants, MaxQueueLen: r.maxQueue}
+	if r.grants > 0 {
+		s.MeanWait = r.totalWait / Time(r.grants)
+	}
+	if elapsed > 0 {
+		s.Utilization = r.busyIntegral / (elapsed * Time(r.capacity))
+		s.MeanQueueLen = r.qlenIntegral / elapsed
+	}
+	return s
+}

@@ -1,0 +1,30 @@
+package stats
+
+import "testing"
+
+// BenchmarkPercentile measures sorted-percentile queries over a large
+// latency sample (the hot path of every experiment report).
+func BenchmarkPercentile(b *testing.B) {
+	var s Sample
+	for i := 0; i < 100000; i++ {
+		s.Add(float64((i * 2654435761) % 1000000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(float64(i)) // invalidates the sort
+		_ = s.Percentile(99)
+	}
+}
+
+// BenchmarkBreakdownRecord measures per-task stage accounting.
+func BenchmarkBreakdownRecord(b *testing.B) {
+	bd := NewBreakdown()
+	parts := map[Stage]float64{
+		StageNetwork: 0.1, StageManagement: 0.05,
+		StageDataIO: 0.02, StageExecution: 0.2,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bd.Record(parts)
+	}
+}

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stage identifies one component of end-to-end task latency, matching
+// the decompositions in Figs. 3a, 6b and 12 of the paper.
+type Stage string
+
+const (
+	StageNetwork    Stage = "network"    // edge<->cloud transfer + protocol processing
+	StageManagement Stage = "management" // scheduling, auth, instantiation
+	StageDataIO     Stage = "dataio"     // inter-function data sharing
+	StageExecution  Stage = "execution"  // useful computation (cloud and/or edge)
+)
+
+// AllStages lists stages in the order the paper's stacked bars use.
+var AllStages = []Stage{StageNetwork, StageManagement, StageDataIO, StageExecution}
+
+// Breakdown accumulates per-stage latency samples so both median and
+// tail decompositions can be reported.
+type Breakdown struct {
+	stages map[Stage]*Sample
+	total  Sample
+}
+
+// NewBreakdown returns an empty breakdown.
+func NewBreakdown() *Breakdown {
+	return &Breakdown{stages: make(map[Stage]*Sample)}
+}
+
+// Record adds one task's per-stage latencies. Missing stages count as 0.
+func (b *Breakdown) Record(parts map[Stage]float64) {
+	var total float64
+	for _, st := range AllStages {
+		v := parts[st]
+		s, ok := b.stages[st]
+		if !ok {
+			s = &Sample{}
+			b.stages[st] = s
+		}
+		s.Add(v)
+		total += v
+	}
+	b.total.Add(total)
+}
+
+// N returns the number of recorded tasks.
+func (b *Breakdown) N() int { return b.total.N() }
+
+// Total returns the end-to-end latency sample.
+func (b *Breakdown) Total() *Sample { return &b.total }
+
+// Stage returns the sample for one stage (empty sample if never seen).
+func (b *Breakdown) Stage(st Stage) *Sample {
+	if s, ok := b.stages[st]; ok {
+		return s
+	}
+	return &Sample{}
+}
+
+// Fractions returns each stage's share of the summed latency at the
+// given percentile of per-stage distributions. The fractions are
+// normalised to sum to 1 (all-zero input returns zeros).
+func (b *Breakdown) Fractions(pctl float64) map[Stage]float64 {
+	out := make(map[Stage]float64, len(AllStages))
+	var sum float64
+	for _, st := range AllStages {
+		v := b.Stage(st).Percentile(pctl)
+		out[st] = v
+		sum += v
+	}
+	if sum > 0 {
+		for st := range out {
+			out[st] /= sum
+		}
+	}
+	return out
+}
+
+// MeanFraction returns a stage's share of total mean latency.
+func (b *Breakdown) MeanFraction(st Stage) float64 {
+	var sum float64
+	for _, s := range AllStages {
+		sum += b.Stage(s).Mean()
+	}
+	if sum == 0 {
+		return 0
+	}
+	return b.Stage(st).Mean() / sum
+}
+
+// String renders the mean decomposition, largest stage first.
+func (b *Breakdown) String() string {
+	type kv struct {
+		st Stage
+		v  float64
+	}
+	var parts []kv
+	for _, st := range AllStages {
+		parts = append(parts, kv{st, b.MeanFraction(st)})
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i].v > parts[j].v })
+	var sb strings.Builder
+	for i, p := range parts {
+		if i > 0 {
+			sb.WriteString(" ")
+		}
+		fmt.Fprintf(&sb, "%s=%.1f%%", p.st, p.v*100)
+	}
+	return sb.String()
+}

@@ -1,0 +1,167 @@
+package stats
+
+import "math"
+
+// Meter accumulates a quantity (bytes, tasks, joules) into fixed-width
+// time buckets, producing the rate time-series behind the paper's
+// bandwidth-utilization and active-task figures.
+type Meter struct {
+	bucket  float64 // bucket width, seconds
+	buckets []float64
+	total   float64
+}
+
+// NewMeter creates a meter with the given bucket width in seconds.
+func NewMeter(bucketWidth float64) *Meter {
+	if bucketWidth <= 0 {
+		panic("stats: meter bucket width must be positive")
+	}
+	return &Meter{bucket: bucketWidth}
+}
+
+// Add records amount at time t (seconds).
+func (m *Meter) Add(t, amount float64) {
+	if t < 0 {
+		t = 0
+	}
+	idx := int(t / m.bucket)
+	for len(m.buckets) <= idx {
+		m.buckets = append(m.buckets, 0)
+	}
+	m.buckets[idx] += amount
+	m.total += amount
+}
+
+// AddSpread records amount spread uniformly over [t0, t1).
+func (m *Meter) AddSpread(t0, t1, amount float64) {
+	if t1 <= t0 {
+		m.Add(t0, amount)
+		return
+	}
+	span := t1 - t0
+	first := int(t0 / m.bucket)
+	last := int(t1 / m.bucket)
+	for b := first; b <= last; b++ {
+		lo := math.Max(t0, float64(b)*m.bucket)
+		hi := math.Min(t1, float64(b+1)*m.bucket)
+		if hi > lo {
+			m.Add(lo, amount*(hi-lo)/span)
+		}
+	}
+}
+
+// Total returns the sum of everything recorded.
+func (m *Meter) Total() float64 { return m.total }
+
+// Rates returns the per-second rate in each bucket.
+func (m *Meter) Rates() []float64 {
+	out := make([]float64, len(m.buckets))
+	for i, v := range m.buckets {
+		out[i] = v / m.bucket
+	}
+	return out
+}
+
+// RateSample returns the bucket rates as a Sample, for percentile
+// queries (e.g. p99 bandwidth in Fig. 14b). Buckets after `until`
+// seconds are ignored if until > 0.
+func (m *Meter) RateSample(until float64) *Sample {
+	s := &Sample{}
+	for i, v := range m.buckets {
+		if until > 0 && float64(i)*m.bucket >= until {
+			break
+		}
+		s.Add(v / m.bucket)
+	}
+	return s
+}
+
+// MeanRate returns total/duration for duration > 0.
+func (m *Meter) MeanRate(duration float64) float64 {
+	if duration <= 0 {
+		return 0
+	}
+	return m.total / duration
+}
+
+// Gauge tracks a level that steps up and down over time (active tasks,
+// live containers) and reports the time series of its value.
+type Gauge struct {
+	times  []float64
+	values []float64
+	cur    float64
+	max    float64
+}
+
+// NewGauge returns a gauge at level zero.
+func NewGauge() *Gauge { return &Gauge{} }
+
+// Set records the level v at time t. Times must be non-decreasing.
+func (g *Gauge) Set(t, v float64) {
+	g.times = append(g.times, t)
+	g.values = append(g.values, v)
+	g.cur = v
+	if v > g.max {
+		g.max = v
+	}
+}
+
+// Inc adjusts the level by delta at time t.
+func (g *Gauge) Inc(t, delta float64) { g.Set(t, g.cur+delta) }
+
+// Current returns the latest level.
+func (g *Gauge) Current() float64 { return g.cur }
+
+// Max returns the highest level ever recorded.
+func (g *Gauge) Max() float64 { return g.max }
+
+// At returns the level in effect at time t (0 before the first sample).
+func (g *Gauge) At(t float64) float64 {
+	v := 0.0
+	for i, ts := range g.times {
+		if ts > t {
+			break
+		}
+		v = g.values[i]
+	}
+	return v
+}
+
+// Series resamples the gauge at the given interval over [0, until),
+// returning one value per step — the "active tasks over time" curves of
+// Fig. 5c.
+func (g *Gauge) Series(interval, until float64) []float64 {
+	if interval <= 0 || until <= 0 {
+		return nil
+	}
+	n := int(math.Ceil(until / interval))
+	out := make([]float64, n)
+	idx := 0
+	v := 0.0
+	for i := 0; i < n; i++ {
+		t := float64(i) * interval
+		for idx < len(g.times) && g.times[idx] <= t {
+			v = g.values[idx]
+			idx++
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// TimeAverage returns the time-weighted mean level over [0, until).
+func (g *Gauge) TimeAverage(until float64) float64 {
+	if until <= 0 {
+		return 0
+	}
+	var integral, prevT, prevV float64
+	for i, t := range g.times {
+		if t > until {
+			break
+		}
+		integral += prevV * (t - prevT)
+		prevT, prevV = t, g.values[i]
+	}
+	integral += prevV * (until - prevT)
+	return integral / until
+}

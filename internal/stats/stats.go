@@ -1,0 +1,196 @@
+// Package stats provides the measurement plumbing used by every
+// experiment in the HiveMind reproduction: latency sample sets with
+// percentile summaries (the paper reports medians, quartiles, p95 and
+// p99 throughout), probability-density estimates for the violin plots,
+// stage breakdowns (network / management / data-IO / execution), and
+// time-series meters for bandwidth and active-task counts.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample is an append-only collection of float64 observations.
+// The zero value is ready to use.
+type Sample struct {
+	xs     []float64
+	sorted bool
+	sum    float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+	s.sum += x
+}
+
+// AddAll records many observations.
+func (s *Sample) AddAll(xs ...float64) {
+	for _, x := range xs {
+		s.Add(x)
+	}
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Sum returns the sum of all observations.
+func (s *Sample) Sum() float64 { return s.sum }
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.xs))
+}
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) using linear
+// interpolation between closest ranks. Empty samples return 0.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 100 {
+		return s.xs[len(s.xs)-1]
+	}
+	rank := p / 100 * float64(len(s.xs)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := rank - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Median is Percentile(50).
+func (s *Sample) Median() float64 { return s.Percentile(50) }
+
+// Min returns the smallest observation, or 0 for an empty sample.
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.xs[0]
+}
+
+// Max returns the largest observation, or 0 for an empty sample.
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.xs[len(s.xs)-1]
+}
+
+// StdDev returns the population standard deviation.
+func (s *Sample) StdDev() float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	mean := s.Mean()
+	var ss float64
+	for _, x := range s.xs {
+		d := x - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// CV returns the coefficient of variation (stddev/mean), the paper's
+// proxy for performance predictability. Zero-mean samples return 0.
+func (s *Sample) CV() float64 {
+	m := s.Mean()
+	if m == 0 {
+		return 0
+	}
+	return s.StdDev() / m
+}
+
+// Values returns a copy of the observations (sorted ascending).
+func (s *Sample) Values() []float64 {
+	s.ensureSorted()
+	out := make([]float64, len(s.xs))
+	copy(out, s.xs)
+	return out
+}
+
+// Summary is the five-number-plus summary used by the paper's box and
+// violin plots.
+type Summary struct {
+	N                      int
+	Mean, Min, Max         float64
+	P5, P25, P50, P75, P95 float64
+	P99, StdDev, CV        float64
+}
+
+// Summarize computes a Summary of the sample.
+func (s *Sample) Summarize() Summary {
+	return Summary{
+		N: s.N(), Mean: s.Mean(), Min: s.Min(), Max: s.Max(),
+		P5: s.Percentile(5), P25: s.Percentile(25), P50: s.Percentile(50),
+		P75: s.Percentile(75), P95: s.Percentile(95), P99: s.Percentile(99),
+		StdDev: s.StdDev(), CV: s.CV(),
+	}
+}
+
+// String renders a compact human-readable summary.
+func (sm Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g p50=%.4g p95=%.4g p99=%.4g cv=%.3f",
+		sm.N, sm.Mean, sm.P50, sm.P95, sm.P99, sm.CV)
+}
+
+// PDF estimates a probability density over nBins equal-width bins,
+// spanning [min, max] of the sample — the data behind the paper's violin
+// plots. Densities integrate to ~1. Empty samples return nil.
+func (s *Sample) PDF(nBins int) []PDFBin {
+	if len(s.xs) == 0 || nBins <= 0 {
+		return nil
+	}
+	s.ensureSorted()
+	lo, hi := s.xs[0], s.xs[len(s.xs)-1]
+	if hi == lo {
+		return []PDFBin{{Center: lo, Density: 1, Count: len(s.xs)}}
+	}
+	width := (hi - lo) / float64(nBins)
+	bins := make([]PDFBin, nBins)
+	for i := range bins {
+		bins[i].Center = lo + (float64(i)+0.5)*width
+	}
+	for _, x := range s.xs {
+		idx := int((x - lo) / width)
+		if idx >= nBins {
+			idx = nBins - 1
+		}
+		bins[idx].Count++
+	}
+	norm := 1.0 / (float64(len(s.xs)) * width)
+	for i := range bins {
+		bins[i].Density = float64(bins[i].Count) * norm
+	}
+	return bins
+}
+
+// PDFBin is one bin of a density estimate.
+type PDFBin struct {
+	Center  float64
+	Density float64
+	Count   int
+}

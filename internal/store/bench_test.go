@@ -1,0 +1,56 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkPut measures document creation throughput.
+func BenchmarkPut(b *testing.B) {
+	db := NewDB()
+	body := make([]byte, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Put(fmt.Sprintf("doc-%d", i), "", body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGet measures read throughput (includes the defensive copy).
+func BenchmarkGet(b *testing.B) {
+	db := NewDB()
+	body := make([]byte, 1024)
+	db.Put("doc", "", body)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Get("doc"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUpdateChain measures revisioned update throughput.
+func BenchmarkUpdateChain(b *testing.B) {
+	db := NewDB()
+	rev, _ := db.Put("doc", "", []byte("v"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rev, err = db.Put("doc", rev, []byte("v"))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConcurrentReaders measures RWMutex read scaling.
+func BenchmarkConcurrentReaders(b *testing.B) {
+	db := NewDB()
+	db.Put("doc", "", make([]byte, 256))
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			db.Get("doc")
+		}
+	})
+}

@@ -1,0 +1,254 @@
+// Package store implements the intermediate-data store serverless
+// functions use to exchange data. OpenWhisk routes inter-function data
+// through CouchDB (§3.3): "for two functions to exchange data they have
+// to go through the OpenWhisk controller to get a handle to a database
+// object". This package provides
+//
+//   - DB: a real, embedded, revisioned document store with CouchDB-style
+//     optimistic concurrency (revision tokens, conflict errors), used by
+//     the in-process function runtime and directly testable; and
+//   - LatencyModel: the access-cost model the simulator charges for each
+//     protocol in Fig. 6c (CouchDB vs direct RPC vs in-memory), plus the
+//     FPGA remote-memory fast path of §4.4.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Common errors.
+var (
+	ErrNotFound = errors.New("store: document not found")
+	ErrConflict = errors.New("store: revision conflict")
+)
+
+// Doc is a stored document.
+type Doc struct {
+	ID   string
+	Rev  string
+	Body []byte
+}
+
+// DB is an in-memory revisioned document store, safe for concurrent use.
+type DB struct {
+	mu   sync.RWMutex
+	docs map[string]Doc
+	seq  uint64
+}
+
+// NewDB returns an empty store.
+func NewDB() *DB {
+	return &DB{docs: make(map[string]Doc)}
+}
+
+func revToken(gen int, body []byte) string {
+	h := sha256.Sum256(body)
+	return fmt.Sprintf("%d-%s", gen, hex.EncodeToString(h[:6]))
+}
+
+func revGen(rev string) int {
+	i := strings.IndexByte(rev, '-')
+	if i <= 0 {
+		return 0
+	}
+	g, err := strconv.Atoi(rev[:i])
+	if err != nil {
+		return 0
+	}
+	return g
+}
+
+// Put creates or updates a document. For updates, rev must match the
+// stored revision or ErrConflict is returned; for creates, rev must be
+// empty. It returns the new revision.
+func (db *DB) Put(id string, rev string, body []byte) (string, error) {
+	if id == "" {
+		return "", errors.New("store: empty document id")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	cur, exists := db.docs[id]
+	if exists {
+		if rev != cur.Rev {
+			return "", ErrConflict
+		}
+	} else if rev != "" {
+		return "", ErrConflict
+	}
+	gen := 1
+	if exists {
+		gen = revGen(cur.Rev) + 1
+	}
+	bodyCopy := make([]byte, len(body))
+	copy(bodyCopy, body)
+	newRev := revToken(gen, bodyCopy)
+	db.docs[id] = Doc{ID: id, Rev: newRev, Body: bodyCopy}
+	db.seq++
+	return newRev, nil
+}
+
+// Force writes a document unconditionally (last-writer-wins), returning
+// the new revision. Used for idempotent outputs where conflicts are
+// benign.
+func (db *DB) Force(id string, body []byte) string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	gen := 1
+	if cur, ok := db.docs[id]; ok {
+		gen = revGen(cur.Rev) + 1
+	}
+	bodyCopy := make([]byte, len(body))
+	copy(bodyCopy, body)
+	rev := revToken(gen, bodyCopy)
+	db.docs[id] = Doc{ID: id, Rev: rev, Body: bodyCopy}
+	db.seq++
+	return rev
+}
+
+// Get fetches a document by id.
+func (db *DB) Get(id string) (Doc, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	d, ok := db.docs[id]
+	if !ok {
+		return Doc{}, ErrNotFound
+	}
+	body := make([]byte, len(d.Body))
+	copy(body, d.Body)
+	d.Body = body
+	return d, nil
+}
+
+// Delete removes a document; rev must match.
+func (db *DB) Delete(id, rev string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	cur, ok := db.docs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	if rev != cur.Rev {
+		return ErrConflict
+	}
+	delete(db.docs, id)
+	db.seq++
+	return nil
+}
+
+// Len returns the number of stored documents.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.docs)
+}
+
+// Seq returns the store's update sequence number.
+func (db *DB) Seq() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.seq
+}
+
+// Keys returns all document ids (unordered).
+func (db *DB) Keys() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.docs))
+	for k := range db.docs {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Protocol selects how dependent functions exchange intermediate data —
+// the three regimes of Fig. 6c plus HiveMind's remote-memory fabric.
+type Protocol int
+
+const (
+	// ProtoCouchDB is OpenWhisk's default: writer stores the object in
+	// the database, reader asks the controller for a handle and fetches.
+	ProtoCouchDB Protocol = iota
+	// ProtoDirectRPC lets the child call the parent's container directly.
+	ProtoDirectRPC
+	// ProtoInMemory places the child in the parent's container; the data
+	// never moves.
+	ProtoInMemory
+	// ProtoRemoteMem is HiveMind's FPGA remote-memory access (§4.4):
+	// RoCE-style reads of the parent's output through the fabric.
+	ProtoRemoteMem
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case ProtoCouchDB:
+		return "couchdb"
+	case ProtoDirectRPC:
+		return "rpc"
+	case ProtoInMemory:
+		return "inmemory"
+	case ProtoRemoteMem:
+		return "remotemem"
+	default:
+		return fmt.Sprintf("protocol(%d)", int(p))
+	}
+}
+
+// LatencyModel gives the one-way data-exchange cost charged by the
+// simulator for a transfer of a given size under each protocol.
+// Calibrated so the Fig. 6c ordering holds: CouchDB ≫ RPC > in-memory,
+// with the remote-memory fabric close to in-memory.
+type LatencyModel struct {
+	// CouchDB: controller round-trip for the handle + two DB operations
+	// (write by parent amortised into read path's contention) + payload
+	// at DB throughput.
+	CouchBaseS   float64 // controller + auth + handle
+	CouchPerOpS  float64 // per database operation
+	CouchMBps    float64 // payload bandwidth
+	RPCBaseS     float64 // direct RPC setup + call overhead
+	RPCMBps      float64 // kernel TCP payload bandwidth
+	RemoteBaseS  float64 // fabric access setup (§4.4)
+	RemoteMBps   float64 // UPI-attached FPGA payload bandwidth
+	InMemoryBase float64 // same-container handoff
+}
+
+// DefaultLatencyModel returns the calibrated model.
+func DefaultLatencyModel() LatencyModel {
+	return LatencyModel{
+		CouchBaseS:   0.018, // controller hop + auth + handle lookup
+		CouchPerOpS:  0.006,
+		CouchMBps:    180,
+		RPCBaseS:     0.0014,
+		RPCMBps:      1100,
+		RemoteBaseS:  25e-6,
+		RemoteMBps:   9600, // UPI-attached fabric
+		InMemoryBase: 2e-6, // pointer handoff in a shared region
+	}
+}
+
+// ExchangeS returns the data-sharing latency in seconds for moving
+// sizeMB between dependent functions under the protocol.
+func (m LatencyModel) ExchangeS(p Protocol, sizeMB float64) float64 {
+	if sizeMB < 0 {
+		sizeMB = 0
+	}
+	switch p {
+	case ProtoCouchDB:
+		// handle + write op + read op + 2 payload moves (in and out).
+		return m.CouchBaseS + 2*m.CouchPerOpS + 2*sizeMB/m.CouchMBps
+	case ProtoDirectRPC:
+		return m.RPCBaseS + sizeMB/m.RPCMBps
+	case ProtoRemoteMem:
+		return m.RemoteBaseS + sizeMB/m.RemoteMBps
+	case ProtoInMemory:
+		return m.InMemoryBase
+	default:
+		panic("store: unknown protocol")
+	}
+}

@@ -1,0 +1,387 @@
+// Package synth implements HiveMind's program synthesis and task
+// placement exploration (§4.2, Fig. 8). Starting from a validated DSL
+// task graph it enumerates every *meaningful* assignment of tasks to
+// edge or cloud (pruning assignments that violate Place pins or put
+// device-bound sensing in the cloud), composes the cross-tier API
+// bindings each assignment needs (RPC for edge<->cloud, the serverless
+// data-sharing protocol intra-cloud, in-process for same-device
+// chains), predicts each candidate's latency / power / network / cost
+// with a queueing-informed cost model, and selects the best candidate
+// that satisfies the user's constraints.
+package synth
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"hivemind/internal/dsl"
+)
+
+// Loc is a task's assigned location in a candidate.
+type Loc int
+
+const (
+	LocCloud Loc = iota
+	LocEdge
+)
+
+// String implements fmt.Stringer.
+func (l Loc) String() string {
+	if l == LocEdge {
+		return "edge"
+	}
+	return "cloud"
+}
+
+// TaskCost carries the per-task profile the cost model needs. The
+// caller maps tasks to measured profiles (e.g. internal/apps).
+type TaskCost struct {
+	CloudExecS  float64 // single-core service time in the cloud
+	EdgeExecS   float64 // service time on the device
+	Parallelism int     // serverless fan-out
+	InputMB     float64 // data consumed per invocation
+	OutputMB    float64 // data produced per invocation
+	RatePerDev  float64 // invocations/s per device
+	Sensor      bool    // collects device sensor data (must run on-device)
+}
+
+// Env describes the deployment the candidates are scored against.
+type Env struct {
+	Devices        int
+	WirelessMBps   float64 // aggregate edge<->cloud bandwidth
+	CloudCores     int
+	EdgePowerW     float64 // device busy-compute watts
+	RadioJPerMB    float64
+	CloudUSDPerCPU float64 // $ per core-second (FaaS pricing)
+	FaaSOverheadS  float64 // per-invocation management cost
+	ExchangeCloudS float64 // intra-cloud data-sharing base cost
+	RPCBaseS       float64 // edge<->cloud RPC base cost
+}
+
+// DefaultEnv matches the paper's testbed scale.
+func DefaultEnv(devices int) Env {
+	return Env{
+		Devices:        devices,
+		WirelessMBps:   216.75,
+		CloudCores:     480,
+		EdgePowerW:     30,
+		RadioJPerMB:    1.5,
+		CloudUSDPerCPU: 2.4e-5, // ~AWS Lambda GB-s pricing ballpark
+		FaaSOverheadS:  0.05,
+		ExchangeCloudS: 0.03,
+		RPCBaseS:       0.006,
+	}
+}
+
+// BindingKind is the API flavour synthesized for one graph edge.
+type BindingKind int
+
+const (
+	BindLocal BindingKind = iota // same device, in-process call
+	BindRPC                      // edge<->cloud (or device<->device) RPC
+	BindFaaS                     // intra-cloud serverless data sharing
+)
+
+// String implements fmt.Stringer.
+func (b BindingKind) String() string {
+	switch b {
+	case BindLocal:
+		return "local"
+	case BindRPC:
+		return "rpc"
+	default:
+		return "faas"
+	}
+}
+
+// Binding is a synthesized cross-task API.
+type Binding struct {
+	From, To string
+	Kind     BindingKind
+}
+
+// Candidate is one execution model: a complete assignment plus the API
+// bindings it requires.
+type Candidate struct {
+	Assignment map[string]Loc
+	Bindings   []Binding
+	Metrics    Metrics // filled by Estimate
+}
+
+// Name renders a compact signature like "route=cloud,collect=edge,...".
+func (c Candidate) Name() string {
+	keys := make([]string, 0, len(c.Assignment))
+	for k := range c.Assignment {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%s", k, c.Assignment[k])
+	}
+	return strings.Join(parts, ",")
+}
+
+// Metrics is the cost model's prediction for a candidate.
+type Metrics struct {
+	LatencyS     float64 // end-to-end critical-path latency per task-graph instance
+	DevicePowerW float64 // average per-device power above baseline
+	NetworkMBps  float64 // aggregate edge<->cloud traffic
+	CloudUSDps   float64 // cloud cost per second
+	Feasible     bool    // network not oversubscribed, edge not overloaded
+}
+
+// Enumerate generates all meaningful candidates for the graph.
+// Meaningful (§4.2): Place pins are honoured, sensing tasks never run
+// in the cloud.
+func Enumerate(g *dsl.TaskGraph, costs map[string]TaskCost) ([]Candidate, error) {
+	tasks := g.TopoOrder()
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("synth: empty graph")
+	}
+	for _, t := range tasks {
+		if _, ok := costs[t.Name]; !ok {
+			return nil, fmt.Errorf("synth: no cost profile for task %q", t.Name)
+		}
+	}
+	if len(tasks) > 20 {
+		return nil, fmt.Errorf("synth: %d tasks exceeds the exploration limit (20)", len(tasks))
+	}
+	var out []Candidate
+	n := len(tasks)
+	for mask := 0; mask < 1<<n; mask++ {
+		assign := make(map[string]Loc, n)
+		ok := true
+		for i, t := range tasks {
+			loc := LocCloud
+			if mask&(1<<i) != 0 {
+				loc = LocEdge
+			}
+			// Pruning rules.
+			if costs[t.Name].Sensor && loc == LocCloud {
+				ok = false // collecting sensor data in the cloud is meaningless
+				break
+			}
+			switch t.Pin {
+			case dsl.PlaceEdge:
+				if loc != LocEdge {
+					ok = false
+				}
+			case dsl.PlaceCloud:
+				if loc != LocCloud {
+					ok = false
+				}
+			}
+			if !ok {
+				break
+			}
+			assign[t.Name] = loc
+		}
+		if !ok {
+			continue
+		}
+		out = append(out, Candidate{Assignment: assign, Bindings: bindingsFor(g, assign)})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("synth: constraints eliminate every placement")
+	}
+	return out, nil
+}
+
+// bindingsFor composes the APIs a candidate needs (§4.1: Thrift-style
+// RPC for computation that may run at the edge, the serverless function
+// interface for tasks on the cluster).
+func bindingsFor(g *dsl.TaskGraph, assign map[string]Loc) []Binding {
+	var out []Binding
+	for _, t := range g.TopoOrder() {
+		for _, c := range t.Children {
+			from, to := assign[t.Name], assign[c]
+			var kind BindingKind
+			switch {
+			case from == LocCloud && to == LocCloud:
+				kind = BindFaaS
+			case from == LocEdge && to == LocEdge:
+				kind = BindLocal
+			default:
+				kind = BindRPC
+			}
+			out = append(out, Binding{From: t.Name, To: c, Kind: kind})
+		}
+	}
+	return out
+}
+
+// Estimate fills in a candidate's predicted metrics.
+func Estimate(g *dsl.TaskGraph, c *Candidate, costs map[string]TaskCost, env Env) Metrics {
+	var m Metrics
+	m.Feasible = true
+
+	// Aggregate offered loads.
+	var edgeUtil float64 // per-device core utilization
+	var netMBps float64  // aggregate edge<->cloud
+	var cloudCoreS float64
+	devs := float64(env.Devices)
+
+	// Critical path latency: longest root→leaf chain of per-task
+	// latencies plus binding costs.
+	lat := map[string]float64{}
+	for _, t := range g.TopoOrder() {
+		cost := costs[t.Name]
+		loc := c.Assignment[t.Name]
+		var taskLat float64
+		if loc == LocEdge {
+			util := cost.RatePerDev * cost.EdgeExecS
+			edgeUtil += util
+			if util >= 1 {
+				// Overloaded device: the bounded on-board queue stays full,
+				// so completed tasks see ~queue-length service times.
+				taskLat = cost.EdgeExecS * 4
+			} else {
+				// Median-latency inflation from queueing (light at typical
+				// utilizations; the mean-value M/M/1 formula overstates the
+				// median the placement decision cares about).
+				taskLat = cost.EdgeExecS * (1 + 0.5*util*util)
+			}
+		} else {
+			par := math.Max(1, float64(cost.Parallelism))
+			taskLat = cost.CloudExecS/par + env.FaaSOverheadS
+			cloudCoreS += cost.RatePerDev * devs * cost.CloudExecS
+		}
+		// Binding (incoming edge) costs: charged on the child.
+		var bindLat float64
+		for _, b := range c.Bindings {
+			if b.To != t.Name {
+				continue
+			}
+			parentOut := costs[b.From].OutputMB
+			switch b.Kind {
+			case BindRPC:
+				bindLat = math.Max(bindLat, env.RPCBaseS+parentOut/(env.WirelessMBps/devs))
+				netMBps += costs[b.From].RatePerDev * devs * parentOut
+			case BindFaaS:
+				bindLat = math.Max(bindLat, env.ExchangeCloudS)
+			case BindLocal:
+				bindLat = math.Max(bindLat, 0.0005)
+			}
+		}
+		// Sensor input arriving at a cloud task crosses the wireless hop.
+		if loc == LocCloud && cost.InputMB > 0 && !hasParentBinding(c, t.Name) {
+			netMBps += cost.RatePerDev * devs * cost.InputMB
+			bindLat = math.Max(bindLat, cost.InputMB/(env.WirelessMBps/devs))
+		}
+		best := 0.0
+		if t2, ok := g.Task(t.Name); ok {
+			for _, p := range t2.Parents {
+				if lat[p] > best {
+					best = lat[p]
+				}
+			}
+		}
+		lat[t.Name] = best + taskLat + bindLat
+	}
+	for _, l := range lat {
+		if l > m.LatencyS {
+			m.LatencyS = l
+		}
+	}
+	if edgeUtil >= 1 {
+		m.Feasible = false
+	}
+	if netMBps >= env.WirelessMBps {
+		m.Feasible = false
+	}
+	if cloudCoreS > float64(env.CloudCores) {
+		m.Feasible = false
+	}
+	m.NetworkMBps = netMBps
+	m.DevicePowerW = edgeUtil*env.EdgePowerW + (netMBps/devs)*env.RadioJPerMB
+	m.CloudUSDps = cloudCoreS * env.CloudUSDPerCPU
+	c.Metrics = m
+	return m
+}
+
+func hasParentBinding(c *Candidate, task string) bool {
+	for _, b := range c.Bindings {
+		if b.To == task {
+			return true
+		}
+	}
+	return false
+}
+
+// Explore enumerates, estimates and ranks all candidates. Tasks fed by
+// a declared data stream inherit its rate (and item size, when the cost
+// profile leaves them unset).
+func Explore(g *dsl.TaskGraph, costs map[string]TaskCost, env Env) ([]Candidate, error) {
+	for _, t := range g.Tasks {
+		if st, ok := g.StreamFor(t); ok {
+			c := costs[t.Name]
+			if c.RatePerDev == 0 {
+				c.RatePerDev = st.RateHz
+			}
+			if c.InputMB == 0 {
+				c.InputMB = st.ItemMB
+			}
+			costs[t.Name] = c
+		}
+	}
+	cands, err := Enumerate(g, costs)
+	if err != nil {
+		return nil, err
+	}
+	for i := range cands {
+		Estimate(g, &cands[i], costs, env)
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		a, b := cands[i].Metrics, cands[j].Metrics
+		if a.Feasible != b.Feasible {
+			return a.Feasible
+		}
+		return a.LatencyS < b.LatencyS
+	})
+	return cands, nil
+}
+
+// Select returns the best candidate satisfying the user's constraints
+// (§4.1: performance, power, cost, or a combination). Zero-valued
+// constraint fields are unconstrained. If nothing satisfies them, the
+// feasible latency-optimal candidate is returned with ok=false.
+func Select(cands []Candidate, cons dsl.Constraints, maxPowerW float64) (Candidate, bool) {
+	meets := func(m Metrics) bool {
+		if !m.Feasible {
+			return false
+		}
+		if cons.LatencyS > 0 && m.LatencyS > cons.LatencyS {
+			return false
+		}
+		if cons.ExecTimeS > 0 && m.LatencyS > cons.ExecTimeS {
+			return false
+		}
+		if cons.MaxCostUSD > 0 && m.CloudUSDps*3600 > cons.MaxCostUSD {
+			return false
+		}
+		if maxPowerW > 0 && m.DevicePowerW > maxPowerW {
+			return false
+		}
+		if cons.MaxPowerW > 0 && m.DevicePowerW > cons.MaxPowerW {
+			return false
+		}
+		return true
+	}
+	for _, c := range cands {
+		if meets(c.Metrics) {
+			return c, true
+		}
+	}
+	for _, c := range cands {
+		if c.Metrics.Feasible {
+			return c, false
+		}
+	}
+	if len(cands) > 0 {
+		return cands[0], false
+	}
+	return Candidate{}, false
+}

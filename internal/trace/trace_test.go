@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecorderCollectsAndOrders(t *testing.T) {
+	r := NewRecorder(0)
+	r.Add(Span{Name: "b", Track: "drone-1", StartS: 2, EndS: 3})
+	r.Add(Span{Name: "a", Track: "drone-0", StartS: 1, EndS: 2, Category: "network"})
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	spans := r.Spans()
+	if spans[0].Name != "a" || spans[1].Name != "b" {
+		t.Fatalf("order: %+v", spans)
+	}
+}
+
+func TestRecorderRejectsInvalid(t *testing.T) {
+	r := NewRecorder(0)
+	r.Add(Span{Name: "", Track: "x", StartS: 0, EndS: 1})
+	r.Add(Span{Name: "x", Track: "", StartS: 0, EndS: 1})
+	r.Add(Span{Name: "x", Track: "x", StartS: 2, EndS: 1})
+	r.Mark(Instant{Name: ""})
+	if r.Len() != 0 {
+		t.Fatalf("invalid spans accepted: %d", r.Len())
+	}
+}
+
+func TestRecorderLimitAndDrops(t *testing.T) {
+	r := NewRecorder(2)
+	for i := 0; i < 5; i++ {
+		r.Add(Span{Name: "s", Track: "t", StartS: float64(i), EndS: float64(i) + 1})
+	}
+	if r.Len() != 2 || r.Dropped() != 3 {
+		t.Fatalf("len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+}
+
+func TestRecorderDisable(t *testing.T) {
+	r := NewRecorder(0)
+	r.SetEnabled(false)
+	r.Add(Span{Name: "s", Track: "t", StartS: 0, EndS: 1})
+	r.Mark(Instant{Name: "m", AtS: 1})
+	if r.Len() != 0 {
+		t.Fatal("disabled recorder recorded")
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	r := NewRecorder(0)
+	r.Add(Span{Name: "task", Category: "execution", Track: "drone-0",
+		StartS: 1.5, EndS: 2.0, Args: map[string]string{"app": "S1"}})
+	r.Add(Span{Name: "upload", Category: "network", Track: "server-0", StartS: 1.0, EndS: 1.4})
+	r.Mark(Instant{Name: "device-failure", Track: "drone-0", AtS: 3.0})
+	r.Mark(Instant{Name: "repartition", AtS: 3.5, Global: true})
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("output is not a JSON array: %v", err)
+	}
+	// 2 thread_name metadata + 2 spans + 2 instants.
+	if len(events) != 6 {
+		t.Fatalf("events = %d", len(events))
+	}
+	var sawMeta, sawSpan, sawInstant bool
+	for _, ev := range events {
+		switch ev["ph"] {
+		case "M":
+			sawMeta = true
+		case "X":
+			sawSpan = true
+			if ev["name"] == "task" {
+				if ev["ts"].(float64) != 1.5e6 || ev["dur"].(float64) != 0.5e6 {
+					t.Fatalf("span timing: %v", ev)
+				}
+			}
+		case "i":
+			sawInstant = true
+		}
+	}
+	if !sawMeta || !sawSpan || !sawInstant {
+		t.Fatalf("missing event kinds: meta=%v span=%v instant=%v", sawMeta, sawSpan, sawInstant)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	r := NewRecorder(0)
+	r.Add(Span{Name: "a", Category: "network", Track: "t", StartS: 0, EndS: 2})
+	r.Add(Span{Name: "b", Category: "network", Track: "t", StartS: 2, EndS: 3})
+	r.Add(Span{Name: "c", Track: "t", StartS: 0, EndS: 1})
+	s := r.Summary()
+	if !strings.Contains(s, "network") || !strings.Contains(s, "2 spans") {
+		t.Fatalf("summary = %q", s)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRecorder(0)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Add(Span{Name: "s", Track: "t", StartS: 0, EndS: 1})
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 1600 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}
