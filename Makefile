@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race bench sweep examples fmt vet clean
+.PHONY: all build test race chaos bench sweep examples fmt vet clean
 
-all: build test
+all: build vet test
 
 build:
 	$(GO) build ./...
@@ -13,7 +13,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/rpc/ ./internal/store/ ./internal/runtime/
+	$(GO) test -race ./...
+
+# Fault-injection suite: every chaos test seeds its injectors and RNGs
+# (fixed seeds baked into the tests), so this run is deterministic.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos|Injector|Breaker|Respawn|FailAll|Reliable|Heartbeat' \
+		./internal/chaos/ ./internal/rpc/ ./internal/runtime/ ./internal/store/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

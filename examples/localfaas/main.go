@@ -113,7 +113,9 @@ func main() {
 	var all []sighting
 	for i, out := range outs {
 		key := fmt.Sprintf("out/recognize/%d", i)
-		rt.Store().Force(key, out)
+		if _, err := rt.Store().Force(key, out); err != nil {
+			panic(err)
+		}
 		doc, err := rt.Store().Get(key)
 		if err != nil {
 			panic(err)

@@ -11,6 +11,7 @@ package controller
 
 import (
 	"fmt"
+	"sync"
 
 	"hivemind/internal/device"
 	"hivemind/internal/geo"
@@ -186,8 +187,11 @@ func (c *Controller) LeastLoadedDevice() *device.Device {
 
 // Monitor is the controller's metrics registry: cheap counters and
 // latency samples whose overhead is negligible (§4.7: <0.1% on tail
-// latency).
+// latency). It is safe for concurrent use, so the real runtime's
+// gateway and hardened RPC clients can report into it alongside the
+// single-threaded simulator (it satisfies runtime.GatewayMonitor).
 type Monitor struct {
+	mu       sync.Mutex
 	counters map[string]int
 	samples  map[string]*stats.Sample
 	enabled  bool
@@ -199,10 +203,16 @@ func NewMonitor() *Monitor {
 }
 
 // SetEnabled toggles collection (for overhead experiments).
-func (m *Monitor) SetEnabled(on bool) { m.enabled = on }
+func (m *Monitor) SetEnabled(on bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.enabled = on
+}
 
 // CountEvent increments a named counter.
 func (m *Monitor) CountEvent(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if !m.enabled {
 		return
 	}
@@ -210,10 +220,16 @@ func (m *Monitor) CountEvent(name string) {
 }
 
 // Count returns a counter's value.
-func (m *Monitor) Count(name string) int { return m.counters[name] }
+func (m *Monitor) Count(name string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters[name]
+}
 
 // Observe records a latency observation under a name.
 func (m *Monitor) Observe(name string, v float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if !m.enabled {
 		return
 	}
@@ -225,15 +241,22 @@ func (m *Monitor) Observe(name string, v float64) {
 	s.Add(v)
 }
 
-// Sample returns the sample recorded under name (empty if none).
+// Sample returns a snapshot of the sample recorded under name (empty if
+// none). Snapshotting keeps concurrent Observe calls from racing with
+// the caller's percentile math.
 func (m *Monitor) Sample(name string) *stats.Sample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := &stats.Sample{}
 	if s, ok := m.samples[name]; ok {
-		return s
+		out.AddAll(s.Values()...)
 	}
-	return &stats.Sample{}
+	return out
 }
 
 // String summarises the monitor contents.
 func (m *Monitor) String() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	return fmt.Sprintf("monitor: %d counters, %d samples", len(m.counters), len(m.samples))
 }

@@ -2,6 +2,7 @@ package controller
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"hivemind/internal/device"
@@ -227,4 +228,32 @@ func TestMismatchedRegionsPanics(t *testing.T) {
 		}
 	}()
 	New(eng, DefaultConfig(), fleet, make([]geo.Rect, 2), nil)
+}
+
+// Satellite fix: the monitor must be goroutine-safe so the real
+// concurrent runtime (gateway, hardened RPC clients) can report into it.
+func TestMonitorConcurrentReporters(t *testing.T) {
+	m := NewMonitor()
+	var wg sync.WaitGroup
+	const workers = 8
+	const perWorker = 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				m.CountEvent("rpc-call")
+				m.Observe("lat", float64(i))
+				_ = m.Count("rpc-call")
+				_ = m.Sample("lat").N()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Count("rpc-call"); got != workers*perWorker {
+		t.Fatalf("count = %d, want %d", got, workers*perWorker)
+	}
+	if got := m.Sample("lat").N(); got != workers*perWorker {
+		t.Fatalf("sample n = %d, want %d", got, workers*perWorker)
+	}
 }

@@ -1,0 +1,154 @@
+package rpc
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen is returned by a tripped breaker: the client sheds
+// load instead of piling more work onto a failing connection, exactly
+// the back-pressure the controller relies on when an edge device
+// blips (§4.6).
+var ErrCircuitOpen = errors.New("rpc: circuit breaker open")
+
+// BreakerState is the classic three-state machine.
+type BreakerState int
+
+const (
+	// BreakerClosed passes calls through, counting consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen fails calls fast until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen lets one probe call through; its outcome decides
+	// whether the breaker closes again or re-opens.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig tunes a circuit breaker. The zero value disables it
+// (Allow always succeeds).
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that opens the breaker
+	// (<=0 disables the breaker).
+	Threshold int
+	// Cooldown is how long the breaker stays open before half-opening
+	// for a probe.
+	Cooldown time.Duration
+}
+
+// Breaker is a per-client circuit breaker, safe for concurrent use.
+// now is injectable for deterministic tests.
+type Breaker struct {
+	cfg BreakerConfig
+	now func() time.Time
+
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int
+	openedAt  time.Time
+	probing   bool // a half-open probe is in flight
+	openCount int
+}
+
+// NewBreaker builds a breaker; a nil now uses the wall clock.
+func NewBreaker(cfg BreakerConfig, now func() time.Time) *Breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{cfg: cfg, now: now}
+}
+
+// State returns the current state (open flips to half-open lazily on
+// the first Allow after the cooldown).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cfg.Cooldown {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// Opens returns how many times the breaker has tripped.
+func (b *Breaker) Opens() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.openCount
+}
+
+// Allow reports whether a call may proceed. In half-open state exactly
+// one probe is admitted; concurrent calls fail fast until it resolves.
+func (b *Breaker) Allow() error {
+	if b.cfg.Threshold <= 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cfg.Cooldown {
+			return ErrCircuitOpen
+		}
+		b.state = BreakerHalfOpen
+		fallthrough
+	default: // BreakerHalfOpen
+		if b.probing {
+			return ErrCircuitOpen
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// Drop resolves an admitted call without counting its outcome (a
+// caller-side cancellation says nothing about server health, but must
+// release a half-open probe slot).
+func (b *Breaker) Drop() {
+	if b.cfg.Threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+}
+
+// Record reports a call outcome to the state machine.
+func (b *Breaker) Record(success bool) {
+	if b.cfg.Threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if success {
+		b.state = BreakerClosed
+		b.failures = 0
+		b.probing = false
+		return
+	}
+	b.probing = false
+	b.failures++
+	if b.state == BreakerHalfOpen || b.failures >= b.cfg.Threshold {
+		if b.state != BreakerOpen {
+			b.openCount++
+		}
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.failures = 0
+	}
+}

@@ -1,0 +1,309 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ReliableOptions tunes the hardened client.
+type ReliableOptions struct {
+	// Callers sizes each underlying connection's caller pool.
+	Callers int
+	// CallTimeout bounds each individual attempt (0: only the caller's
+	// ctx bounds it).
+	CallTimeout time.Duration
+	// Retry schedules re-attempts after transport failures.
+	Retry RetryPolicy
+	// IdempotentAll declares every method safe to retry. When false,
+	// only methods listed via MarkIdempotent are retried once the
+	// request may have reached the server; transport failures that
+	// occurred before the request was written are always retryable.
+	IdempotentAll bool
+	// Breaker sheds load after consecutive failures.
+	Breaker BreakerConfig
+	// HeartbeatInterval enables liveness pings on the active connection
+	// (0: disabled). A ping that misses HeartbeatTimeout tears the
+	// connection down so the next call reconnects.
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	// Seed makes backoff jitter reproducible (0: wall-clock seed).
+	Seed int64
+}
+
+// DefaultReliableOptions returns the hardened-edge defaults: the §3.2
+// respawn cadence for retries, a 3-beat heartbeat (the controller marks
+// devices failed after 3 missed 1 s beats, §4.6), and a breaker that
+// opens after 5 consecutive failures.
+func DefaultReliableOptions() ReliableOptions {
+	return ReliableOptions{
+		Callers:           64,
+		Retry:             DefaultRetryPolicy(),
+		Breaker:           BreakerConfig{Threshold: 5, Cooldown: time.Second},
+		HeartbeatInterval: time.Second,
+		HeartbeatTimeout:  3 * time.Second,
+	}
+}
+
+// ReliableStats counts the hardened client's recovery actions.
+type ReliableStats struct {
+	Calls      int
+	Retries    int
+	Reconnects int
+	Rejected   int // shed by the open breaker
+}
+
+// ReliableClient wraps the single-connection Client with the machinery
+// the live substrate needs to survive the failure modes internal/faas
+// only simulates: per-call deadlines, retry with exponential backoff
+// and jitter, idempotency guards, heartbeat-driven reconnect, and a
+// circuit breaker. It is safe for concurrent use.
+type ReliableClient struct {
+	dial    func() (net.Conn, error)
+	opts    ReliableOptions
+	breaker *Breaker
+
+	mu      sync.Mutex
+	cur     *Client
+	rng     *rand.Rand
+	idem    map[string]bool
+	closed  bool
+	hbStop  chan struct{}
+	stats   ReliableStats
+	statsMu sync.Mutex
+}
+
+// NewReliableClient builds a hardened client over a dial function
+// (called for the initial connection and on every reconnect).
+func NewReliableClient(dial func() (net.Conn, error), opts ReliableOptions) *ReliableClient {
+	if opts.Callers <= 0 {
+		opts.Callers = 64
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &ReliableClient{
+		dial:    dial,
+		opts:    opts,
+		breaker: NewBreaker(opts.Breaker, nil),
+		rng:     rand.New(rand.NewSource(seed)),
+		idem:    map[string]bool{},
+	}
+}
+
+// DialReliable returns a hardened client for a TCP server address.
+func DialReliable(addr string, opts ReliableOptions) *ReliableClient {
+	return NewReliableClient(func() (net.Conn, error) {
+		return net.Dial("tcp", addr)
+	}, opts)
+}
+
+// MarkIdempotent declares methods safe to retry even when a prior
+// attempt may have executed server-side.
+func (rc *ReliableClient) MarkIdempotent(methods ...string) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	for _, m := range methods {
+		rc.idem[m] = true
+	}
+}
+
+// Breaker exposes the client's circuit breaker (for observability).
+func (rc *ReliableClient) Breaker() *Breaker { return rc.breaker }
+
+// Stats returns a snapshot of the recovery counters.
+func (rc *ReliableClient) Stats() ReliableStats {
+	rc.statsMu.Lock()
+	defer rc.statsMu.Unlock()
+	return rc.stats
+}
+
+func (rc *ReliableClient) bump(f func(*ReliableStats)) {
+	rc.statsMu.Lock()
+	f(&rc.stats)
+	rc.statsMu.Unlock()
+}
+
+// client returns a healthy connection, dialing a fresh one if needed.
+func (rc *ReliableClient) client() (*Client, error) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.closed {
+		return nil, ErrClosed
+	}
+	if rc.cur != nil && rc.cur.Healthy() {
+		return rc.cur, nil
+	}
+	conn, err := rc.dial()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errReconnect, err)
+	}
+	if rc.cur != nil {
+		rc.cur.Close()
+		rc.bump(func(s *ReliableStats) { s.Reconnects++ })
+	}
+	rc.cur = NewClient(conn, rc.opts.Callers)
+	if rc.opts.HeartbeatInterval > 0 {
+		if rc.hbStop != nil {
+			close(rc.hbStop)
+		}
+		rc.hbStop = make(chan struct{})
+		go rc.heartbeat(rc.cur, rc.hbStop)
+	}
+	return rc.cur, nil
+}
+
+// heartbeat pings cl until it dies or stop closes; a missed beat tears
+// the connection down so the next Call reconnects.
+func (rc *ReliableClient) heartbeat(cl *Client, stop chan struct{}) {
+	interval := rc.opts.HeartbeatInterval
+	timeout := rc.opts.HeartbeatTimeout
+	if timeout <= 0 {
+		timeout = 3 * interval
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		err := cl.Ping(ctx)
+		cancel()
+		if err != nil && !cl.Healthy() {
+			return // connection already torn down
+		}
+		if err != nil {
+			cl.Close() // missed beat: declare the connection dead
+			return
+		}
+	}
+}
+
+// errReconnect marks a dial failure: the request was never sent, so a
+// retry is always safe regardless of idempotency.
+var errReconnect = errors.New("rpc: reconnect failed")
+
+// retryable reports whether err may be retried for the given method.
+// Application errors (ServerError) prove execution and are never
+// retried; transport errors are retried only when the method is
+// idempotent, because the request may have executed before the
+// connection died. Dial failures never reached the server and are
+// always retryable.
+func (rc *ReliableClient) retryable(method string, err error) bool {
+	var se ServerError
+	if errors.As(err, &se) {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if errors.Is(err, errReconnect) {
+		return true
+	}
+	if rc.opts.IdempotentAll {
+		return true
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.idem[method]
+}
+
+// Call performs a hardened call: breaker admission, per-attempt
+// timeout, and retry with backoff+jitter on transport failures of
+// idempotent methods. ctx bounds the whole call including backoffs.
+func (rc *ReliableClient) Call(ctx context.Context, method string, payload []byte) ([]byte, error) {
+	rc.bump(func(s *ReliableStats) { s.Calls++ })
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return nil, fmt.Errorf("%w (last attempt: %v)", err, lastErr)
+			}
+			return nil, err
+		}
+		if err := rc.breaker.Allow(); err != nil {
+			rc.bump(func(s *ReliableStats) { s.Rejected++ })
+			return nil, err
+		}
+		out, err := rc.attempt(ctx, method, payload)
+		var se ServerError
+		switch {
+		case err == nil:
+			rc.breaker.Record(true)
+			return out, nil
+		case errors.As(err, &se):
+			// The handler executed and replied: the connection is
+			// healthy, even though the application call failed.
+			rc.breaker.Record(true)
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			rc.breaker.Drop()
+		default:
+			rc.breaker.Record(false)
+		}
+		lastErr = err
+		if attempt >= rc.opts.Retry.Max || !rc.retryable(method, err) {
+			return nil, err
+		}
+		rc.bump(func(s *ReliableStats) { s.Retries++ })
+		rc.mu.Lock()
+		backoff := rc.opts.Retry.Backoff(attempt, rc.rng)
+		rc.mu.Unlock()
+		if backoff > 0 {
+			t := time.NewTimer(backoff)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, fmt.Errorf("%w (last attempt: %v)", ctx.Err(), lastErr)
+			}
+		}
+	}
+}
+
+// attempt runs one try over the current (or a fresh) connection. A
+// per-attempt timeout that fires while the caller's ctx still has
+// budget is reported as a plain transport error so the retry loop can
+// re-attempt it.
+func (rc *ReliableClient) attempt(parent context.Context, method string, payload []byte) ([]byte, error) {
+	cl, err := rc.client()
+	if err != nil {
+		return nil, err
+	}
+	ctx := parent
+	if rc.opts.CallTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(parent, rc.opts.CallTimeout)
+		defer cancel()
+	}
+	out, err := cl.Call(ctx, method, payload)
+	if err != nil && errors.Is(err, context.DeadlineExceeded) && parent.Err() == nil {
+		return nil, fmt.Errorf("rpc: attempt timed out: %v", err)
+	}
+	return out, err
+}
+
+// Close tears down the active connection and stops the heartbeat.
+func (rc *ReliableClient) Close() error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.closed {
+		return nil
+	}
+	rc.closed = true
+	if rc.hbStop != nil {
+		close(rc.hbStop)
+		rc.hbStop = nil
+	}
+	if rc.cur != nil {
+		return rc.cur.Close()
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package rpc
+
+import (
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy is an exponential-backoff schedule with jitter. The zero
+// value never retries. Only transport failures are retried — a
+// ServerError proves the request reached the handler and executed, so
+// replaying it is only safe for methods declared idempotent (see
+// ReliableOptions.Idempotent*).
+type RetryPolicy struct {
+	// Max is the number of retries after the initial attempt.
+	Max int
+	// Base is the first backoff; each subsequent backoff multiplies by
+	// Multiplier (default 2) and is capped at Cap.
+	Base       time.Duration
+	Cap        time.Duration
+	Multiplier float64
+	// Jitter in [0,1] randomises each backoff within ±Jitter·backoff,
+	// decorrelating retry storms across a swarm of clients.
+	Jitter float64
+}
+
+// DefaultRetryPolicy mirrors the faas model's respawn cadence
+// (RespawnDelayS = 120 ms) with 3 respawns, the §3.2 attempt cap.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{Max: 3, Base: 120 * time.Millisecond, Cap: 2 * time.Second, Multiplier: 2, Jitter: 0.2}
+}
+
+// Backoff returns the pause before retry attempt (0-based), drawing
+// jitter from rng (nil: no jitter, fully deterministic).
+func (p RetryPolicy) Backoff(attempt int, rng *rand.Rand) time.Duration {
+	if p.Base <= 0 {
+		return 0
+	}
+	mult := p.Multiplier
+	if mult <= 0 {
+		mult = 2
+	}
+	d := float64(p.Base)
+	for i := 0; i < attempt; i++ {
+		d *= mult
+		if p.Cap > 0 && d >= float64(p.Cap) {
+			d = float64(p.Cap)
+			break
+		}
+	}
+	if p.Cap > 0 && d > float64(p.Cap) {
+		d = float64(p.Cap)
+	}
+	if p.Jitter > 0 && rng != nil {
+		d *= 1 + p.Jitter*(2*rng.Float64()-1)
+	}
+	return time.Duration(d)
+}

@@ -13,9 +13,19 @@
 // Payloads are opaque []byte so the generated cross-task APIs can choose
 // their own encoding. Transports are anything that yields a net.Conn:
 // TCP between machines, net.Pipe in-process.
+//
+// Beyond request/response the protocol carries three control frames
+// that make the live substrate survivable under the failure modes the
+// paper studies (§3.2, §4.6): cancel frames propagate client-side
+// context cancellation into running server handlers, and ping/pong
+// frames give clients a connection-health heartbeat. On top of the
+// single-connection Client, ReliableClient (reliable.go) layers
+// deadlines, retries with backoff (retry.go), automatic reconnect, and
+// circuit breaking (breaker.go).
 package rpc
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -30,6 +40,13 @@ const (
 	kindRequest  = 1
 	kindResponse = 2
 	kindError    = 3
+	// kindCancel tells the server to cancel the context of the handler
+	// running callID (sent when the client's ctx fires first).
+	kindCancel = 4
+	// kindPing/kindPong are the connection heartbeat: the server echoes
+	// a ping's payload back in a pong with the same call id.
+	kindPing = 5
+	kindPong = 6
 )
 
 // maxFrame bounds a frame to 64 MiB: larger than any sensor batch the
@@ -43,8 +60,23 @@ var (
 	ErrMethodNotFound = errors.New("rpc: method not found")
 )
 
+// ServerError is an application-level error returned by a remote
+// handler, as opposed to a transport failure. Retry policies treat the
+// two differently: a ServerError proves the request executed, so only
+// transport failures are safe to retry for idempotent methods.
+type ServerError string
+
+// Error implements error.
+func (e ServerError) Error() string { return string(e) }
+
 // Handler processes one request payload and returns a response payload.
 type Handler func(payload []byte) ([]byte, error)
+
+// HandlerCtx is a context-aware handler: ctx is cancelled when the
+// client sends a cancel frame for this call or the connection drops, so
+// long-running handlers can stop wasted work (server-side cancellation
+// propagation).
+type HandlerCtx func(ctx context.Context, payload []byte) ([]byte, error)
 
 type frame struct {
 	kind    byte
@@ -98,7 +130,7 @@ func readFrame(r io.Reader) (frame, error) {
 // Server dispatches registered procedures over accepted connections.
 type Server struct {
 	mu       sync.RWMutex
-	handlers map[string]Handler
+	handlers map[string]HandlerCtx
 
 	lnMu      sync.Mutex
 	listeners []net.Listener
@@ -109,12 +141,20 @@ type Server struct {
 
 // NewServer returns an empty server.
 func NewServer() *Server {
-	return &Server{handlers: make(map[string]Handler), conns: make(map[net.Conn]struct{})}
+	return &Server{handlers: make(map[string]HandlerCtx), conns: make(map[net.Conn]struct{})}
 }
 
 // Register binds a handler to a method name. Re-registering replaces the
 // handler.
 func (s *Server) Register(method string, h Handler) {
+	s.RegisterCtx(method, func(_ context.Context, payload []byte) ([]byte, error) {
+		return h(payload)
+	})
+}
+
+// RegisterCtx binds a context-aware handler: its ctx is cancelled when
+// the calling client cancels the request or its connection drops.
+func (s *Server) RegisterCtx(method string, h HandlerCtx) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.handlers[method] = h
@@ -171,6 +211,10 @@ func (s *Server) ServeConn(conn net.Conn) {
 	s.lnMu.Unlock()
 	go func() {
 		defer s.wg.Done()
+		// base is cancelled on connection teardown so every in-flight
+		// handler on this conn observes the disconnect.
+		base, cancelAll := context.WithCancel(context.Background())
+		defer cancelAll()
 		defer func() {
 			s.lnMu.Lock()
 			delete(s.conns, conn)
@@ -178,22 +222,50 @@ func (s *Server) ServeConn(conn net.Conn) {
 			conn.Close()
 		}()
 		var writeMu sync.Mutex
+		var inflightMu sync.Mutex
+		inflight := make(map[uint64]context.CancelFunc)
 		for {
 			f, err := readFrame(conn)
 			if err != nil {
 				return
 			}
-			if f.kind != kindRequest {
+			switch f.kind {
+			case kindPing:
+				go func(f frame) {
+					writeMu.Lock()
+					defer writeMu.Unlock()
+					writeFrame(conn, frame{kind: kindPong, callID: f.callID, payload: f.payload})
+				}(f)
+				continue
+			case kindCancel:
+				inflightMu.Lock()
+				if cancel, ok := inflight[f.callID]; ok {
+					cancel()
+				}
+				inflightMu.Unlock()
+				continue
+			case kindRequest:
+			default:
 				continue
 			}
 			s.mu.RLock()
 			h, ok := s.handlers[f.method]
 			s.mu.RUnlock()
+			ctx, cancel := context.WithCancel(base)
+			inflightMu.Lock()
+			inflight[f.callID] = cancel
+			inflightMu.Unlock()
 			go func(f frame) {
+				defer func() {
+					inflightMu.Lock()
+					delete(inflight, f.callID)
+					inflightMu.Unlock()
+					cancel()
+				}()
 				var resp frame
 				if !ok {
 					resp = frame{kind: kindError, callID: f.callID, payload: []byte(ErrMethodNotFound.Error())}
-				} else if out, err := h(f.payload); err != nil {
+				} else if out, err := h(ctx, f.payload); err != nil {
 					resp = frame{kind: kindError, callID: f.callID, payload: []byte(err.Error())}
 				} else {
 					resp = frame{kind: kindResponse, callID: f.callID, payload: out}
@@ -232,11 +304,14 @@ type Call struct {
 	Err     error
 	Done    chan *Call
 	replyTo uint64
+	once    sync.Once
+	release func() // returns the caller-pool slot; nil if none held
 }
 
 // Client issues calls over one connection, multiplexing concurrent
 // requests by call id. A semaphore of size callers bounds in-flight
-// calls, mirroring the paper's caller-thread pool.
+// calls, mirroring the paper's caller-thread pool: the slot is held
+// from send until the reply (or failure) arrives.
 type Client struct {
 	conn    net.Conn
 	writeMu sync.Mutex
@@ -285,10 +360,10 @@ func (c *Client) readLoop() {
 			continue
 		}
 		switch f.kind {
-		case kindResponse:
+		case kindResponse, kindPong:
 			call.Reply = f.payload
 		case kindError:
-			call.Err = errors.New(string(f.payload))
+			call.Err = ServerError(f.payload)
 		default:
 			call.Err = fmt.Errorf("rpc: unexpected frame kind %d", f.kind)
 		}
@@ -296,39 +371,77 @@ func (c *Client) readLoop() {
 	}
 }
 
+// closeError returns ErrClosed carrying the root cause of the
+// connection teardown, so chaos-test failures are diagnosable instead
+// of a bare "connection closed".
+func closeError(cause error) error {
+	if cause == nil || errors.Is(cause, ErrClosed) || errors.Is(cause, io.EOF) || errors.Is(cause, io.ErrClosedPipe) {
+		return ErrClosed
+	}
+	return fmt.Errorf("%w: %v", ErrClosed, cause)
+}
+
 func (c *Client) failAll(err error) {
 	c.mu.Lock()
 	c.closed = true
-	c.readErr = err
+	if c.readErr == nil {
+		c.readErr = err
+	}
+	cause := closeError(c.readErr)
 	pend := c.pending
 	c.pending = make(map[uint64]*Call)
 	c.mu.Unlock()
 	for _, call := range pend {
-		call.Err = ErrClosed
+		call.Err = cause
 		call.finish()
 	}
 }
 
+// finish completes a call exactly once: the caller-pool slot is
+// returned and the call is delivered on Done.
 func (call *Call) finish() {
-	select {
-	case call.Done <- call:
-	default:
-		// Done channel must be buffered; drop rather than block.
-	}
+	call.once.Do(func() {
+		if call.release != nil {
+			call.release()
+		}
+		select {
+		case call.Done <- call:
+		default:
+			// Done channel must be buffered; drop rather than block.
+		}
+	})
 }
 
-// Go starts an asynchronous call. done may be nil, in which case a
-// buffered channel is allocated. The returned Call is delivered on its
-// Done channel when complete.
-func (c *Client) Go(method string, payload []byte, done chan *Call) *Call {
+// Healthy reports whether the connection has not failed.
+func (c *Client) Healthy() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.closed
+}
+
+// start registers and sends one frame. useSem reserves a caller-pool
+// slot (held until the call finishes); pings bypass the pool so
+// heartbeats get through even when the pool is saturated.
+func (c *Client) start(ctx context.Context, kind byte, method string, payload []byte, done chan *Call, useSem bool) *Call {
 	if done == nil {
 		done = make(chan *Call, 1)
 	}
 	call := &Call{Method: method, Done: done}
+	if useSem {
+		select {
+		case c.sem <- struct{}{}:
+			call.release = func() { <-c.sem }
+		case <-ctx.Done():
+			call.Err = ctx.Err()
+			call.finish()
+			return call
+		}
+	}
 	c.mu.Lock()
 	if c.closed {
+		err := closeError(c.readErr)
 		c.mu.Unlock()
-		call.Err = ErrClosed
+		call.Err = err
 		call.finish()
 		return call
 	}
@@ -337,11 +450,9 @@ func (c *Client) Go(method string, payload []byte, done chan *Call) *Call {
 	c.pending[id] = call
 	c.mu.Unlock()
 
-	c.sem <- struct{}{}
 	c.writeMu.Lock()
-	err := writeFrame(c.conn, frame{kind: kindRequest, callID: id, method: method, payload: payload})
+	err := writeFrame(c.conn, frame{kind: kind, callID: id, method: method, payload: payload})
 	c.writeMu.Unlock()
-	<-c.sem
 	if err != nil {
 		c.mu.Lock()
 		delete(c.pending, id)
@@ -352,10 +463,64 @@ func (c *Client) Go(method string, payload []byte, done chan *Call) *Call {
 	return call
 }
 
-// CallSync performs a blocking call.
+// Go starts an asynchronous call. done may be nil, in which case a
+// buffered channel is allocated. The returned Call is delivered on its
+// Done channel when complete. Go blocks while the caller pool is full.
+func (c *Client) Go(method string, payload []byte, done chan *Call) *Call {
+	return c.start(context.Background(), kindRequest, method, payload, done, true)
+}
+
+// abort removes a call whose context fired before the reply and tells
+// the server to cancel the handler (best effort).
+func (c *Client) abort(call *Call, err error) {
+	c.mu.Lock()
+	_, pendingStill := c.pending[call.replyTo]
+	delete(c.pending, call.replyTo)
+	closed := c.closed
+	c.mu.Unlock()
+	if pendingStill && !closed {
+		c.writeMu.Lock()
+		writeFrame(c.conn, frame{kind: kindCancel, callID: call.replyTo})
+		c.writeMu.Unlock()
+	}
+	call.Err = err
+	call.finish()
+}
+
+// Call performs a blocking call bounded by ctx: if the context fires
+// first the call returns ctx.Err(), the caller-pool slot is released,
+// and a cancel frame asks the server to stop the handler.
+func (c *Client) Call(ctx context.Context, method string, payload []byte) ([]byte, error) {
+	call := c.start(ctx, kindRequest, method, payload, nil, true)
+	select {
+	case <-call.Done:
+		return call.Reply, call.Err
+	case <-ctx.Done():
+		c.abort(call, ctx.Err())
+		// If the reply raced the cancellation and won, return it.
+		got := <-call.Done
+		return got.Reply, got.Err
+	}
+}
+
+// CallSync performs a blocking call with no deadline.
 func (c *Client) CallSync(method string, payload []byte) ([]byte, error) {
 	call := <-c.Go(method, payload, nil).Done
 	return call.Reply, call.Err
+}
+
+// Ping round-trips a heartbeat frame, bypassing the caller pool.
+// A healthy connection answers even while saturated with slow calls.
+func (c *Client) Ping(ctx context.Context) error {
+	call := c.start(ctx, kindPing, "", nil, nil, false)
+	select {
+	case <-call.Done:
+		return call.Err
+	case <-ctx.Done():
+		c.abort(call, ctx.Err())
+		<-call.Done
+		return call.Err
+	}
 }
 
 // Close tears down the connection; outstanding calls fail with

@@ -2,11 +2,13 @@ package rpc
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 	"time"
@@ -237,6 +239,196 @@ func TestRegisterReplacesHandler(t *testing.T) {
 	}
 	if got := srv.Methods(); len(got) != 1 || got[0] != "m" {
 		t.Fatalf("methods = %v", got)
+	}
+}
+
+// Satellite fix: the caller pool must bound *in-flight* calls, not just
+// concurrent writes — slots are held until the reply arrives.
+func TestCallerPoolBoundsInFlight(t *testing.T) {
+	var inFlight, peak atomic.Int32
+	release := make(chan struct{})
+	srv := NewServer()
+	srv.Register("hold", func(p []byte) ([]byte, error) {
+		cur := inFlight.Add(1)
+		for {
+			old := peak.Load()
+			if cur <= old || peak.CompareAndSwap(old, cur) {
+				break
+			}
+		}
+		<-release
+		inFlight.Add(-1)
+		return nil, nil
+	})
+	const pool = 4
+	c := pipeClientServer(t, srv, pool)
+	done := make(chan *Call, 16)
+	var started sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		started.Add(1)
+		go func() {
+			started.Done()
+			c.Go("hold", nil, done)
+		}()
+	}
+	started.Wait()
+	time.Sleep(50 * time.Millisecond) // let calls pile onto the pool
+	close(release)
+	for i := 0; i < 16; i++ {
+		if call := <-done; call.Err != nil {
+			t.Fatal(call.Err)
+		}
+	}
+	if p := peak.Load(); p > pool {
+		t.Fatalf("in-flight peak = %d, pool = %d: semaphore does not bound calls", p, pool)
+	}
+}
+
+// Satellite fix: failAll must preserve the root cause of the teardown
+// instead of a bare ErrClosed.
+func TestFailAllPreservesRootCause(t *testing.T) {
+	srv := NewServer()
+	block := make(chan struct{})
+	defer close(block)
+	srv.Register("block", func(p []byte) ([]byte, error) {
+		<-block
+		return nil, nil
+	})
+	cc, sc := Pair()
+	srv.ServeConn(sc)
+	defer srv.Close()
+	// Feed the client a torn frame by severing the server side while a
+	// call is outstanding, then check the surfaced error wraps ErrClosed
+	// and is not *just* ErrClosed when a cause exists.
+	c := NewClient(cc, 4)
+	call := c.Go("block", nil, nil)
+	time.Sleep(5 * time.Millisecond)
+	sc.Close() // read side sees io.ErrClosedPipe
+	select {
+	case <-call.Done:
+	case <-time.After(time.Second):
+		t.Fatal("call not failed on teardown")
+	}
+	if !errors.Is(call.Err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed chain", call.Err)
+	}
+	// A later call reports the preserved cause too.
+	if _, err := c.CallSync("block", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close err = %v", err)
+	}
+	c.Close()
+}
+
+func TestFailAllWrapsReadError(t *testing.T) {
+	c := &Client{conn: nil, pending: map[uint64]*Call{}, sem: make(chan struct{}, 1)}
+	call := &Call{Done: make(chan *Call, 1)}
+	c.pending[1] = call
+	rootCause := errors.New("torn frame: invalid frame length 7")
+	c.failAll(rootCause)
+	<-call.Done
+	if !errors.Is(call.Err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed wrapper", call.Err)
+	}
+	if !strings.Contains(call.Err.Error(), "torn frame") {
+		t.Fatalf("root cause dropped: %v", call.Err)
+	}
+}
+
+func TestCallHonoursContextDeadline(t *testing.T) {
+	srv := NewServer()
+	block := make(chan struct{})
+	defer close(block)
+	srv.Register("block", func(p []byte) ([]byte, error) {
+		<-block
+		return nil, nil
+	})
+	c := pipeClientServer(t, srv, 4)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Call(ctx, "block", nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("deadline not enforced")
+	}
+	// The slot must be returned: further calls proceed.
+	if reply, err := func() ([]byte, error) {
+		srv.Register("echo", func(p []byte) ([]byte, error) { return p, nil })
+		ctx2, cancel2 := context.WithTimeout(context.Background(), time.Second)
+		defer cancel2()
+		return c.Call(ctx2, "echo", []byte("after"))
+	}(); err != nil || string(reply) != "after" {
+		t.Fatalf("pool slot leaked after cancelled call: %q %v", reply, err)
+	}
+}
+
+func TestCancelPropagatesToServerHandler(t *testing.T) {
+	srv := NewServer()
+	handlerCancelled := make(chan struct{})
+	srv.RegisterCtx("watch", func(ctx context.Context, p []byte) ([]byte, error) {
+		select {
+		case <-ctx.Done():
+			close(handlerCancelled)
+			return nil, ctx.Err()
+		case <-time.After(5 * time.Second):
+			return nil, errors.New("handler never cancelled")
+		}
+	})
+	c := pipeClientServer(t, srv, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := c.Call(ctx, "watch", nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	select {
+	case <-handlerCancelled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancel frame did not reach the server handler")
+	}
+}
+
+func TestConnTeardownCancelsServerHandlers(t *testing.T) {
+	srv := NewServer()
+	handlerCancelled := make(chan struct{})
+	srv.RegisterCtx("watch", func(ctx context.Context, p []byte) ([]byte, error) {
+		<-ctx.Done()
+		close(handlerCancelled)
+		return nil, ctx.Err()
+	})
+	cc, sc := Pair()
+	srv.ServeConn(sc)
+	defer srv.Close()
+	c := NewClient(cc, 4)
+	c.Go("watch", nil, nil)
+	time.Sleep(10 * time.Millisecond)
+	c.Close() // dropping the conn must cancel the in-flight handler
+	select {
+	case <-handlerCancelled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("handler not cancelled on connection teardown")
+	}
+}
+
+func TestPingBypassesSaturatedPool(t *testing.T) {
+	srv := NewServer()
+	release := make(chan struct{})
+	defer close(release)
+	srv.Register("hold", func(p []byte) ([]byte, error) {
+		<-release
+		return nil, nil
+	})
+	c := pipeClientServer(t, srv, 1)
+	go c.Go("hold", nil, nil) // saturates the single-slot pool
+	time.Sleep(10 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := c.Ping(ctx); err != nil {
+		t.Fatalf("heartbeat starved by saturated pool: %v", err)
 	}
 }
 

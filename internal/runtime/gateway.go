@@ -2,62 +2,194 @@ package runtime
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"hivemind/internal/rpc"
 )
 
+// GatewayMonitor is the metrics sink the gateway reports into —
+// controller.Monitor satisfies it, so the real runtime feeds the same
+// lightweight monitoring system the simulated controller uses (§4.7).
+type GatewayMonitor interface {
+	CountEvent(name string)
+	Observe(name string, v float64)
+}
+
+// GatewayConfig tunes the RPC front door's fault handling.
+type GatewayConfig struct {
+	// Timeout bounds a whole invocation or chain (0: no deadline beyond
+	// the caller's cancellation).
+	Timeout time.Duration
+	// StepTimeout bounds each chain step (0: only Timeout applies). A
+	// step that exceeds it is respawned rather than failing the chain.
+	StepTimeout time.Duration
+	// StepRespawns is how many times a failed or timed-out chain step is
+	// respawned before the error surfaces (§3.2; default 1 — respawn
+	// once, mirroring the faas model's respawn-and-continue behaviour).
+	StepRespawns int
+	// RespawnDelay is the pause before a respawn, the live counterpart
+	// of faas.Config.RespawnDelayS (default 120 ms there).
+	RespawnDelay time.Duration
+}
+
+// DefaultGatewayConfig mirrors the faas model's respawn calibration.
+func DefaultGatewayConfig() GatewayConfig {
+	return GatewayConfig{
+		Timeout:      0,
+		StepRespawns: 1,
+		RespawnDelay: 120 * time.Millisecond,
+	}
+}
+
 // Gateway exposes a Runtime's functions over the RPC framework — the
 // real edge→cloud invocation path: devices call the synthesized RPC
 // APIs (internal/rpc), the gateway dispatches into the serverless
 // runtime, exactly the NGINX-front-end role in the OpenWhisk pipeline.
+// Handlers are context-aware: a client cancel frame or a dropped
+// connection cancels the running invocation, and timed-out chain steps
+// are respawned once before the failure surfaces (§3.2).
 type Gateway struct {
 	rt      *Runtime
 	srv     *rpc.Server
-	timeout time.Duration
+	cfg     GatewayConfig
+	monitor GatewayMonitor
 }
 
 // NewGateway wraps a runtime with an RPC front door. timeout bounds
-// each invocation (0 = no deadline).
+// each invocation (0 = no deadline); other knobs take the
+// DefaultGatewayConfig values.
 func NewGateway(rt *Runtime, timeout time.Duration) *Gateway {
-	return &Gateway{rt: rt, srv: rpc.NewServer(), timeout: timeout}
+	cfg := DefaultGatewayConfig()
+	cfg.Timeout = timeout
+	return NewGatewayConfig(rt, cfg)
 }
+
+// NewGatewayConfig wraps a runtime with a fully configured front door.
+func NewGatewayConfig(rt *Runtime, cfg GatewayConfig) *Gateway {
+	if cfg.StepRespawns < 0 {
+		cfg.StepRespawns = 0
+	}
+	return &Gateway{rt: rt, srv: rpc.NewServer(), cfg: cfg}
+}
+
+// SetMonitor installs a metrics sink (nil disables reporting). Must be
+// called before the gateway starts serving traffic.
+func (g *Gateway) SetMonitor(m GatewayMonitor) { g.monitor = m }
 
 // Server returns the underlying RPC server (serve it on a listener or
 // an in-process pipe).
 func (g *Gateway) Server() *rpc.Server { return g.srv }
 
+func (g *Gateway) count(event string) {
+	if g.monitor != nil {
+		g.monitor.CountEvent(event)
+	}
+}
+
+func (g *Gateway) observe(name string, d time.Duration) {
+	if g.monitor != nil {
+		g.monitor.Observe(name, d.Seconds())
+	}
+}
+
+// callCtx derives the per-call context from the connection's context so
+// client cancellation and disconnects propagate into the runtime.
+func (g *Gateway) callCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if g.cfg.Timeout > 0 {
+		return context.WithTimeout(ctx, g.cfg.Timeout)
+	}
+	return context.WithCancel(ctx)
+}
+
 // Expose registers a runtime function under an RPC method name. The
 // function must already be registered on the runtime.
 func (g *Gateway) Expose(method, function string) {
-	g.srv.Register(method, func(payload []byte) ([]byte, error) {
-		ctx := context.Background()
-		if g.timeout > 0 {
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, g.timeout)
-			defer cancel()
-		}
+	g.srv.RegisterCtx(method, func(ctx context.Context, payload []byte) ([]byte, error) {
+		ctx, cancel := g.callCtx(ctx)
+		defer cancel()
+		start := time.Now()
 		res, err := g.rt.Invoke(ctx, function, payload)
+		g.observe("gateway-latency", time.Since(start))
 		if err != nil {
+			g.countFailure(ctx)
 			return nil, err
 		}
+		g.count("gateway-ok")
 		return res.Output, nil
 	})
 }
 
+func (g *Gateway) countFailure(ctx context.Context) {
+	if ctx.Err() != nil {
+		g.count("gateway-timeout")
+		return
+	}
+	g.count("gateway-error")
+}
+
 // ExposeChain registers an RPC method that runs a multi-tier pipeline
 // through the store-backed chain (one edge call triggers the whole
-// cloud-side task graph, as the generated FaaS bindings do).
+// cloud-side task graph, as the generated FaaS bindings do). Each step
+// is bounded by StepTimeout and respawned up to StepRespawns times
+// after RespawnDelay when it fails or times out — the live counterpart
+// of the queueing model's respawn-on-failure behaviour (§3.2, Fig. 5c).
 func (g *Gateway) ExposeChain(method string, functions []string) {
-	g.srv.Register(method, func(payload []byte) ([]byte, error) {
-		ctx := context.Background()
-		if g.timeout > 0 {
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, g.timeout)
-			defer cancel()
+	g.srv.RegisterCtx(method, func(ctx context.Context, payload []byte) ([]byte, error) {
+		ctx, cancel := g.callCtx(ctx)
+		defer cancel()
+		start := time.Now()
+		data := payload
+		for _, fn := range functions {
+			out, err := g.runStep(ctx, method, fn, data)
+			if err != nil {
+				g.countFailure(ctx)
+				return nil, fmt.Errorf("chain %s at tier %s: %w", method, fn, err)
+			}
+			key := fmt.Sprintf("out/%s/%s", fn, method)
+			data, err = g.rt.exchange(ctx, key, out)
+			if err != nil {
+				g.countFailure(ctx)
+				return nil, fmt.Errorf("chain %s: persisting %s: %w", method, key, err)
+			}
 		}
-		return g.rt.Chain(ctx, method, functions, payload)
+		g.observe("gateway-chain-latency", time.Since(start))
+		g.count("gateway-ok")
+		return data, nil
 	})
+}
+
+// runStep executes one chain tier, respawning it after failures or
+// step-level timeouts while the chain's own deadline still has budget.
+func (g *Gateway) runStep(ctx context.Context, method, fn string, input []byte) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt <= g.cfg.StepRespawns; attempt++ {
+		if attempt > 0 {
+			g.count("gateway-respawn")
+			if g.cfg.RespawnDelay > 0 {
+				sleepCtx(ctx, g.cfg.RespawnDelay)
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			// The chain's own deadline is spent: no respawn can help.
+			if lastErr != nil {
+				return nil, fmt.Errorf("%w (after %v)", err, lastErr)
+			}
+			return nil, err
+		}
+		sctx := ctx
+		var cancel context.CancelFunc = func() {}
+		if g.cfg.StepTimeout > 0 {
+			sctx, cancel = context.WithTimeout(ctx, g.cfg.StepTimeout)
+		}
+		res, err := g.rt.Invoke(sctx, fn, input)
+		cancel()
+		if err == nil {
+			return res.Output, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
 }
 
 // Close shuts the RPC server down (the runtime is left to its owner).

@@ -3,7 +3,10 @@ package runtime
 import (
 	"bytes"
 	"context"
+	"errors"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -100,5 +103,227 @@ func TestGatewayChain(t *testing.T) {
 	// Intermediate tier outputs persisted through the store.
 	if _, err := rt.Store().Get("out/trim/pipeline"); err != nil {
 		t.Fatal("chain did not persist intermediates")
+	}
+}
+
+// killNext fails the next invocation of a function exactly n times —
+// the runtime.Injector face of a "killed container".
+type killNext struct {
+	mu   sync.Mutex
+	op   string
+	left int
+}
+
+func (k *killNext) Fault(op string) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if op == k.op && k.left > 0 {
+		k.left--
+		return errors.New("container killed")
+	}
+	return nil
+}
+
+// Acceptance (b): a killed function mid-chain is respawned once by the
+// gateway and the chain completes.
+func TestGatewayRespawnsKilledChainStep(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Retries = 0 // isolate gateway-level respawn from runtime retries
+	cfg.Injector = &killNext{op: "invoke/mid", left: 1}
+	rt := New(cfg, nil)
+	defer rt.Close()
+	for _, name := range []string{"head", "mid", "tail"} {
+		rt.Register(name, func(ctx context.Context, in []byte) ([]byte, error) {
+			return append(in, '.'), nil
+		})
+	}
+	gcfg := DefaultGatewayConfig()
+	gcfg.Timeout = 5 * time.Second
+	gcfg.RespawnDelay = time.Millisecond
+	g := NewGatewayConfig(rt, gcfg)
+	g.ExposeChain("pipeline", []string{"head", "mid", "tail"})
+	c := gatewayPair(t, g)
+
+	out, err := c.CallSync("pipeline", []byte("x"))
+	if err != nil {
+		t.Fatalf("chain with killed step = %v", err)
+	}
+	if string(out) != "x..." {
+		t.Fatalf("out = %q", out)
+	}
+	if rt.Stats().Killed != 1 {
+		t.Fatalf("killed = %d, want 1", rt.Stats().Killed)
+	}
+}
+
+func TestGatewayChainStepExhaustsRespawns(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Retries = 0
+	cfg.Injector = &killNext{op: "invoke/mid", left: 1 << 30} // never recovers
+	rt := New(cfg, nil)
+	defer rt.Close()
+	for _, name := range []string{"head", "mid"} {
+		rt.Register(name, func(ctx context.Context, in []byte) ([]byte, error) {
+			return in, nil
+		})
+	}
+	gcfg := DefaultGatewayConfig()
+	gcfg.Timeout = 2 * time.Second
+	gcfg.RespawnDelay = time.Millisecond
+	g := NewGatewayConfig(rt, gcfg)
+	g.ExposeChain("pipeline", []string{"head", "mid"})
+	c := gatewayPair(t, g)
+	if _, err := c.CallSync("pipeline", []byte("x")); err == nil ||
+		!strings.Contains(err.Error(), "at tier mid") {
+		t.Fatalf("err = %v, want tier-mid failure", err)
+	}
+}
+
+// A chain step that hangs past StepTimeout is respawned with a fresh
+// step deadline and the chain completes.
+func TestGatewayStepTimeoutRespawn(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Retries = 0
+	rt := New(cfg, nil)
+	defer rt.Close()
+	var calls atomic.Int32
+	rt.Register("flappy", func(ctx context.Context, in []byte) ([]byte, error) {
+		if calls.Add(1) == 1 {
+			<-ctx.Done() // first run hangs until the step deadline kills it
+			return nil, ctx.Err()
+		}
+		return []byte("recovered"), nil
+	})
+	gcfg := DefaultGatewayConfig()
+	gcfg.Timeout = 5 * time.Second
+	gcfg.StepTimeout = 30 * time.Millisecond
+	gcfg.RespawnDelay = time.Millisecond
+	g := NewGatewayConfig(rt, gcfg)
+	g.ExposeChain("pipeline", []string{"flappy"})
+	c := gatewayPair(t, g)
+	out, err := c.CallSync("pipeline", nil)
+	if err != nil || string(out) != "recovered" {
+		t.Fatalf("out=%q err=%v", out, err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d, want 2 (hang + respawn)", calls.Load())
+	}
+}
+
+// Client-side cancellation crosses the RPC boundary and stops the
+// running function.
+func TestGatewayClientCancelPropagates(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Retries = 0
+	rt := New(cfg, nil)
+	defer rt.Close()
+	cancelled := make(chan struct{})
+	rt.Register("watch", func(ctx context.Context, in []byte) ([]byte, error) {
+		select {
+		case <-ctx.Done():
+			close(cancelled)
+			return nil, ctx.Err()
+		case <-time.After(5 * time.Second):
+			return nil, errors.New("never cancelled")
+		}
+	})
+	g := NewGateway(rt, 0)
+	g.Expose("m", "watch")
+	c := gatewayPair(t, g)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := c.Call(ctx, "m", nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	select {
+	case <-cancelled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancellation did not reach the runtime function")
+	}
+}
+
+func TestGatewayClosedServerFailsCalls(t *testing.T) {
+	rt := New(DefaultConfig(), nil)
+	defer rt.Close()
+	rt.Register("echo", func(ctx context.Context, in []byte) ([]byte, error) { return in, nil })
+	g := NewGateway(rt, time.Second)
+	g.Expose("m", "echo")
+	cc, sc := rpc.Pair()
+	g.Server().ServeConn(sc)
+	c := rpc.NewClient(cc, 4)
+	defer c.Close()
+	if _, err := c.CallSync("m", []byte("x")); err != nil {
+		t.Fatalf("pre-close call = %v", err)
+	}
+	g.Close()
+	if _, err := c.CallSync("m", []byte("x")); err == nil {
+		t.Fatal("call succeeded against a closed gateway")
+	}
+}
+
+type countingMonitor struct {
+	mu     sync.Mutex
+	counts map[string]int
+	obs    int
+}
+
+func (m *countingMonitor) CountEvent(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.counts == nil {
+		m.counts = map[string]int{}
+	}
+	m.counts[name]++
+}
+
+func (m *countingMonitor) Observe(name string, v float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.obs++
+}
+
+func (m *countingMonitor) get(name string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counts[name]
+}
+
+func TestGatewayReportsIntoMonitor(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Retries = 0
+	cfg.Injector = &killNext{op: "invoke/mid", left: 1}
+	rt := New(cfg, nil)
+	defer rt.Close()
+	rt.Register("mid", func(ctx context.Context, in []byte) ([]byte, error) { return in, nil })
+	gcfg := DefaultGatewayConfig()
+	gcfg.Timeout = 2 * time.Second
+	gcfg.RespawnDelay = time.Millisecond
+	g := NewGatewayConfig(rt, gcfg)
+	mon := &countingMonitor{}
+	g.SetMonitor(mon)
+	g.Expose("direct", "mid")
+	g.ExposeChain("pipeline", []string{"mid"})
+	c := gatewayPair(t, g)
+
+	if _, err := c.CallSync("pipeline", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CallSync("direct", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if mon.get("gateway-ok") != 2 {
+		t.Fatalf("gateway-ok = %d, want 2", mon.get("gateway-ok"))
+	}
+	if mon.get("gateway-respawn") != 1 {
+		t.Fatalf("gateway-respawn = %d, want 1", mon.get("gateway-respawn"))
+	}
+	mon.mu.Lock()
+	obs := mon.obs
+	mon.mu.Unlock()
+	if obs == 0 {
+		t.Fatal("no latency observations")
 	}
 }

@@ -29,6 +29,14 @@ import (
 // enabled.
 type Function func(ctx context.Context, input []byte) ([]byte, error)
 
+// Injector is the fault-injection hook the runtime consults before each
+// execution attempt (op "invoke/<fn>"): a non-nil error stands in for a
+// crashed container, exercising the §3.2 respawn path on the live
+// runtime. chaos.Injector satisfies it.
+type Injector interface {
+	Fault(op string) error
+}
+
 // Config tunes the runtime.
 type Config struct {
 	// MaxInFlight bounds concurrent executions (default 1000, the AWS
@@ -48,6 +56,12 @@ type Config struct {
 	// StragglerAfter, if positive, spawns a duplicate execution when the
 	// original has run this long; the first finisher wins (§4.6).
 	StragglerAfter time.Duration
+	// RespawnDelay is the pause before a failed attempt is respawned
+	// (§3.2; the faas model's RespawnDelayS). 0: respawn immediately.
+	RespawnDelay time.Duration
+	// Injector, if non-nil, is consulted before every execution attempt
+	// and store exchange so chaos tests can kill live invocations.
+	Injector Injector
 }
 
 // DefaultConfig mirrors the HiveMind backend settings.
@@ -68,6 +82,12 @@ type Stats struct {
 	WarmStarts  uint64
 	Retries     uint64
 	Duplicates  uint64
+	// Killed counts executions the fault injector crashed.
+	Killed uint64
+	// StoreDegraded counts chain handoffs that fell back to in-memory
+	// data because the document store refused the write (graceful
+	// degradation under store faults).
+	StoreDegraded uint64
 }
 
 // Runtime executes registered functions.
@@ -80,11 +100,13 @@ type Runtime struct {
 	sem   chan struct{}
 	db    *store.DB
 	stats struct {
-		invocations atomic.Uint64
-		cold        atomic.Uint64
-		warmHits    atomic.Uint64
-		retries     atomic.Uint64
-		duplicates  atomic.Uint64
+		invocations   atomic.Uint64
+		cold          atomic.Uint64
+		warmHits      atomic.Uint64
+		retries       atomic.Uint64
+		duplicates    atomic.Uint64
+		killed        atomic.Uint64
+		storeDegraded atomic.Uint64
 	}
 	closed atomic.Bool
 }
@@ -130,11 +152,13 @@ func (r *Runtime) Register(name string, f Function) {
 // Stats returns a snapshot of the counters.
 func (r *Runtime) Stats() Stats {
 	return Stats{
-		Invocations: r.stats.invocations.Load(),
-		ColdStarts:  r.stats.cold.Load(),
-		WarmStarts:  r.stats.warmHits.Load(),
-		Retries:     r.stats.retries.Load(),
-		Duplicates:  r.stats.duplicates.Load(),
+		Invocations:   r.stats.invocations.Load(),
+		ColdStarts:    r.stats.cold.Load(),
+		WarmStarts:    r.stats.warmHits.Load(),
+		Retries:       r.stats.retries.Load(),
+		Duplicates:    r.stats.duplicates.Load(),
+		Killed:        r.stats.killed.Load(),
+		StoreDegraded: r.stats.storeDegraded.Load(),
 	}
 }
 
@@ -227,7 +251,19 @@ func (r *Runtime) Invoke(ctx context.Context, name string, input []byte) (Result
 				sleepCtx(ctx, r.cfg.ColdStart)
 			}
 		}
-		out, err := r.execute(ctx, fn, input)
+		var out []byte
+		var err error
+		if r.cfg.Injector != nil {
+			// A consulted fault stands in for a crashed container: the
+			// attempt dies before the body runs (§3.2 failure mode).
+			if ferr := r.cfg.Injector.Fault("invoke/" + name); ferr != nil {
+				r.stats.killed.Add(1)
+				err = ferr
+			}
+		}
+		if err == nil {
+			out, err = r.execute(ctx, fn, input)
+		}
 		r.releaseInstance(inst)
 		if err == nil {
 			res.Output = out
@@ -241,6 +277,12 @@ func (r *Runtime) Invoke(ctx context.Context, name string, input []byte) (Result
 		}
 		if attempt < attempts-1 {
 			r.stats.retries.Add(1)
+			if r.cfg.RespawnDelay > 0 {
+				sleepCtx(ctx, r.cfg.RespawnDelay)
+				if ctx.Err() != nil {
+					break
+				}
+			}
 		}
 	}
 	res.Latency = time.Since(start)
@@ -310,6 +352,10 @@ type InvocationOutcome struct {
 // Chain runs a pipeline of functions, passing each output to the next
 // through the document store (each tier's output is persisted under
 // "out/<fn>/<chainID>", CouchDB-style) and returning the final output.
+// When the store refuses the write (an injected database fault), the
+// handoff degrades gracefully to in-memory data so the chain survives —
+// the same hide-the-failure behaviour the faas model gives respawned
+// tasks.
 func (r *Runtime) Chain(ctx context.Context, chainID string, names []string, input []byte) ([]byte, error) {
 	if len(names) == 0 {
 		return nil, errors.New("runtime: empty chain")
@@ -321,14 +367,44 @@ func (r *Runtime) Chain(ctx context.Context, chainID string, names []string, inp
 			return nil, fmt.Errorf("chain %s at tier %s: %w", chainID, name, err)
 		}
 		key := fmt.Sprintf("out/%s/%s", name, chainID)
-		r.db.Force(key, res.Output)
-		doc, err := r.db.Get(key)
+		data, err = r.exchange(ctx, key, res.Output)
 		if err != nil {
-			return nil, fmt.Errorf("chain %s: re-reading %s: %w", chainID, key, err)
+			return nil, fmt.Errorf("chain %s: persisting %s: %w", chainID, key, err)
 		}
-		data = doc.Body
 	}
 	return data, nil
+}
+
+// exchangeAttempts bounds store retries during a chain handoff,
+// mirroring the §3.2 attempt cap.
+const exchangeAttempts = 3
+
+// exchange persists a tier's output and reads it back (the CouchDB
+// round-trip of §3.3). Store faults are retried with the respawn
+// cadence and ultimately degrade to the in-memory value.
+func (r *Runtime) exchange(ctx context.Context, key string, output []byte) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < exchangeAttempts; attempt++ {
+		if attempt > 0 && r.cfg.RespawnDelay > 0 {
+			sleepCtx(ctx, r.cfg.RespawnDelay)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if _, lastErr = r.db.Force(key, output); lastErr != nil {
+			continue
+		}
+		doc, err := r.db.Get(key)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return doc.Body, nil
+	}
+	// The store stayed faulty: hand the data off in memory rather than
+	// failing a chain whose compute already succeeded.
+	r.stats.storeDegraded.Add(1)
+	return output, nil
 }
 
 // FanOut invokes one function over many inputs concurrently (intra-task

@@ -28,6 +28,15 @@ var (
 	ErrConflict = errors.New("store: revision conflict")
 )
 
+// Injector is the fault-injection hook consulted before each store
+// operation (ops "put/<id>", "force/<id>", "get/<id>", "delete/<id>"):
+// a non-nil error stands in for an unavailable or refusing database
+// node, so the live data plane can be chaos-tested. chaos.Injector
+// satisfies it.
+type Injector interface {
+	Fault(op string) error
+}
+
 // Doc is a stored document.
 type Doc struct {
 	ID   string
@@ -40,11 +49,32 @@ type DB struct {
 	mu   sync.RWMutex
 	docs map[string]Doc
 	seq  uint64
+
+	injMu sync.RWMutex
+	inj   Injector
 }
 
 // NewDB returns an empty store.
 func NewDB() *DB {
 	return &DB{docs: make(map[string]Doc)}
+}
+
+// SetInjector installs (or, with nil, removes) a fault injector.
+func (db *DB) SetInjector(inj Injector) {
+	db.injMu.Lock()
+	defer db.injMu.Unlock()
+	db.inj = inj
+}
+
+// fault consults the injector for one operation.
+func (db *DB) fault(op string) error {
+	db.injMu.RLock()
+	inj := db.inj
+	db.injMu.RUnlock()
+	if inj == nil {
+		return nil
+	}
+	return inj.Fault(op)
 }
 
 func revToken(gen int, body []byte) string {
@@ -71,6 +101,9 @@ func (db *DB) Put(id string, rev string, body []byte) (string, error) {
 	if id == "" {
 		return "", errors.New("store: empty document id")
 	}
+	if err := db.fault("put/" + id); err != nil {
+		return "", err
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	cur, exists := db.docs[id]
@@ -95,8 +128,11 @@ func (db *DB) Put(id string, rev string, body []byte) (string, error) {
 
 // Force writes a document unconditionally (last-writer-wins), returning
 // the new revision. Used for idempotent outputs where conflicts are
-// benign.
-func (db *DB) Force(id string, body []byte) string {
+// benign. The only error source is an installed fault injector.
+func (db *DB) Force(id string, body []byte) (string, error) {
+	if err := db.fault("force/" + id); err != nil {
+		return "", err
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	gen := 1
@@ -108,11 +144,14 @@ func (db *DB) Force(id string, body []byte) string {
 	rev := revToken(gen, bodyCopy)
 	db.docs[id] = Doc{ID: id, Rev: rev, Body: bodyCopy}
 	db.seq++
-	return rev
+	return rev, nil
 }
 
 // Get fetches a document by id.
 func (db *DB) Get(id string) (Doc, error) {
+	if err := db.fault("get/" + id); err != nil {
+		return Doc{}, err
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	d, ok := db.docs[id]
@@ -127,6 +166,9 @@ func (db *DB) Get(id string) (Doc, error) {
 
 // Delete removes a document; rev must match.
 func (db *DB) Delete(id, rev string) error {
+	if err := db.fault("delete/" + id); err != nil {
+		return err
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	cur, ok := db.docs[id]
