@@ -18,8 +18,9 @@ race:
 # Fault-injection suite: every chaos test seeds its injectors and RNGs
 # (fixed seeds baked into the tests), so this run is deterministic.
 chaos:
-	$(GO) test -race -count=1 -run 'Chaos|Injector|Breaker|Respawn|FailAll|Reliable|Heartbeat' \
-		./internal/chaos/ ./internal/rpc/ ./internal/runtime/ ./internal/store/
+	$(GO) test -race -count=1 \
+		-run 'Chaos|Injector|Breaker|Respawn|FailAll|Reliable|Heartbeat|Failover|Replica|Checkpoint|Durable|Straggler|Orphan' \
+		./internal/chaos/ ./internal/rpc/ ./internal/runtime/ ./internal/store/ ./internal/controller/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -31,11 +31,13 @@ func main() {
 		system  = flag.String("system", "hivemind", "system for -mission: centralized-iaas, centralized-faas, distributed-edge, hivemind")
 		devices = flag.Int("devices", 16, "swarm size for -mission")
 		traceFn = flag.String("trace", "", "write a Chrome trace of the -mission run to this file")
+		killCtl = flag.Float64("kill-controller", -1,
+			"crash the active controller replica at this mission second (a hot standby takes over; -1 = never)")
 	)
 	flag.Parse()
 
 	if *mission != "" {
-		if err := runMission(*mission, *system, *devices, *seed, *traceFn); err != nil {
+		if err := runMission(*mission, *system, *devices, *seed, *traceFn, *killCtl); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -66,7 +68,7 @@ func main() {
 }
 
 // runMission executes one end-to-end mission, optionally tracing it.
-func runMission(mission, system string, devices int, seed int64, traceFn string) error {
+func runMission(mission, system string, devices int, seed int64, traceFn string, killCtlAtS float64) error {
 	kinds := map[string]scenario.Kind{
 		"scenario-a": scenario.ScenarioA, "scenario-b": scenario.ScenarioB,
 		"treasure-hunt": scenario.TreasureHunt, "maze": scenario.Maze,
@@ -92,10 +94,14 @@ func runMission(mission, system string, devices int, seed int64, traceFn string)
 		opts.Trace = rec
 	}
 	cfg := scenario.DefaultConfig(kind, opts)
+	cfg.KillControllerAtS = killCtlAtS
 	res := scenario.Run(kind, cfg)
 	fmt.Println(res)
 	fmt.Printf("pipeline latency: %s\n", res.TaskLatency.Summarize())
 	fmt.Printf("breakdown: %s\n", res.Breakdown)
+	if res.Failover != nil {
+		fmt.Printf("controller: %s\n", res.Failover)
+	}
 	if rec != nil {
 		f, err := os.Create(traceFn)
 		if err != nil {

@@ -86,6 +86,9 @@ type Injector struct {
 	// call pops one decision. Deterministic tests prefer scripts.
 	script []bool
 
+	// timed holds one-shot faults armed by At: op -> earliest fire time.
+	timed map[string]time.Time
+
 	faults   int
 	delays   int
 	drops    int
@@ -119,6 +122,29 @@ func (in *Injector) Script(decisions ...bool) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.script = append(in.script, decisions...)
+}
+
+// At arms a one-shot fault for op: the first Fault(op) call at or after
+// now+after injects, then the trigger disarms. Unlike Script it targets
+// a point in time rather than a call ordinal, which is what scheduled
+// kills need (e.g. controller.KillControllerOp mid-chain: the primary
+// consults Fault every lease round, and the round that crosses the
+// deadline crashes it). after <= 0 fires on the very next call. Re-arm
+// by calling At again; Disarm cancels.
+func (in *Injector) At(op string, after time.Duration) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.timed == nil {
+		in.timed = map[string]time.Time{}
+	}
+	in.timed[op] = time.Now().Add(after)
+}
+
+// Disarm cancels a pending At trigger for op.
+func (in *Injector) Disarm(op string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.timed, op)
 }
 
 // Partition blackholes the given direction(s) on every wrapped
@@ -168,7 +194,10 @@ func (in *Injector) Fault(op string) error {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	inject := false
-	if len(in.script) > 0 {
+	if at, ok := in.timed[op]; ok && !time.Now().Before(at) {
+		inject = true
+		delete(in.timed, op)
+	} else if len(in.script) > 0 {
 		inject = in.script[0]
 		in.script = in.script[1:]
 	} else if in.cfg.FailProb > 0 {

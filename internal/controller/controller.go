@@ -44,6 +44,30 @@ func DefaultConfig() Config {
 	}
 }
 
+// Monitor event and sample names shared by the simulated Controller and
+// the live ReplicatedController, so Fig. 10-style failover experiments
+// read the same counters on either substrate.
+const (
+	// EventDeviceFailure counts devices declared failed (stale heartbeats
+	// or reported faults).
+	EventDeviceFailure = "device-failure"
+	// EventRouteUpdate counts route pushes to repartition gainers.
+	EventRouteUpdate = "route-update"
+	// EventHeartbeatMissed counts heartbeat timeouts the detector saw.
+	EventHeartbeatMissed = "ctrl-heartbeat-missed"
+	// EventElection counts leader elections won (a standby promotion on
+	// the simulated substrate, a vote-majority win on the live one).
+	EventElection = "ctrl-election"
+	// EventFailover counts takeovers from a previously serving replica.
+	EventFailover = "ctrl-failover"
+	// EventOrphanRedispatch counts checkpointed in-flight tasks a newly
+	// promoted primary re-dispatched.
+	EventOrphanRedispatch = "ctrl-orphan-redispatch"
+	// SampleFailoverLatency records seconds of controller unavailability
+	// per failover (old primary's last lease to new primary serving).
+	SampleFailoverLatency = "ctrl-failover-latency"
+)
+
 // Controller coordinates a fleet.
 type Controller struct {
 	eng  *sim.Engine
@@ -107,6 +131,9 @@ func (c *Controller) KillActiveReplica() bool {
 	}
 	c.active++
 	c.downUntil = c.eng.Now() + c.cfg.FailoverS
+	c.monitor.CountEvent(EventElection)
+	c.monitor.CountEvent(EventFailover)
+	c.monitor.Observe(SampleFailoverLatency, c.cfg.FailoverS)
 	return true
 }
 
@@ -121,6 +148,9 @@ func (c *Controller) scan() {
 			continue
 		}
 		stale := now-d.LastHeartbeat() > c.cfg.HeartbeatTimeoutS
+		if stale {
+			c.monitor.CountEvent(EventHeartbeatMissed)
+		}
 		if d.Failed() || stale {
 			c.handleFailure(i)
 		}
@@ -132,7 +162,7 @@ func (c *Controller) scan() {
 // (Fig. 10).
 func (c *Controller) handleFailure(failed int) {
 	c.handled[failed] = true
-	c.monitor.CountEvent("device-failure")
+	c.monitor.CountEvent(EventDeviceFailure)
 	if !c.regs[failed].Valid() {
 		return
 	}
@@ -145,7 +175,7 @@ func (c *Controller) handleFailure(failed int) {
 	c.regs = newRegs
 	for _, gi := range gainers {
 		c.flt[gi].AssignRegion(newRegs[gi])
-		c.monitor.CountEvent("route-update")
+		c.monitor.CountEvent(EventRouteUpdate)
 	}
 	if c.onRepartition != nil {
 		c.onRepartition(failed, gainers)
@@ -219,6 +249,16 @@ func (m *Monitor) CountEvent(name string) {
 	m.counters[name]++
 }
 
+// CountEventN adds n occurrences of a named counter at once.
+func (m *Monitor) CountEventN(name string, n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.enabled || n <= 0 {
+		return
+	}
+	m.counters[name] += n
+}
+
 // Count returns a counter's value.
 func (m *Monitor) Count(name string) int {
 	m.mu.Lock()
@@ -259,4 +299,41 @@ func (m *Monitor) String() string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return fmt.Sprintf("monitor: %d counters, %d samples", len(m.counters), len(m.samples))
+}
+
+// FailoverStats is a snapshot of the controller-replication metrics —
+// the §4.7 hot-standby story made observable on both substrates.
+type FailoverStats struct {
+	Elections           int
+	Failovers           int
+	OrphansRedispatched int
+	HeartbeatsMissed    int
+	DeviceFailures      int
+	RouteUpdates        int
+	// FailoverLatency holds one observation per takeover, in seconds.
+	FailoverLatency *stats.Sample
+}
+
+// Failover snapshots the replication counters and the failover-latency
+// sample.
+func (m *Monitor) Failover() FailoverStats {
+	return FailoverStats{
+		Elections:           m.Count(EventElection),
+		Failovers:           m.Count(EventFailover),
+		OrphansRedispatched: m.Count(EventOrphanRedispatch),
+		HeartbeatsMissed:    m.Count(EventHeartbeatMissed),
+		DeviceFailures:      m.Count(EventDeviceFailure),
+		RouteUpdates:        m.Count(EventRouteUpdate),
+		FailoverLatency:     m.Sample(SampleFailoverLatency),
+	}
+}
+
+// String summarises the failover metrics in one line.
+func (f FailoverStats) String() string {
+	lat := "n/a"
+	if f.FailoverLatency != nil && f.FailoverLatency.N() > 0 {
+		lat = fmt.Sprintf("%.0fms mean", f.FailoverLatency.Mean()*1e3)
+	}
+	return fmt.Sprintf("elections=%d failovers=%d (latency %s) orphans-redispatched=%d heartbeats-missed=%d device-failures=%d route-updates=%d",
+		f.Elections, f.Failovers, lat, f.OrphansRedispatched, f.HeartbeatsMissed, f.DeviceFailures, f.RouteUpdates)
 }

@@ -1,0 +1,899 @@
+package controller
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"hivemind/internal/geo"
+	"hivemind/internal/rpc"
+)
+
+// This file is the live counterpart of the simulated Controller: the
+// §4.7 "two hot standby copies that can take over in case of a failure"
+// running as real processes over internal/rpc. Each Replica holds a
+// Raft-lite, lease-based leader election (term numbers, majority votes,
+// seeded-deterministic election timeouts — no log, the replicated state
+// is small enough to ship whole) and the primary replicates the device
+// registry and the in-flight task table to its standbys on every lease
+// broadcast. The primary also runs the live membership service: devices
+// register and heartbeat over RPC, staleness past HeartbeatTimeout marks
+// them failed and triggers geo.Repartition on the live fleet (§4.6,
+// Fig. 10), exactly mirroring the simulated scan loop.
+
+// Replica RPC method names.
+const (
+	MethodVote     = "ctrl.vote"
+	MethodLease    = "ctrl.lease"
+	MethodRegister = "ctrl.register"
+	MethodBeat     = "ctrl.beat"
+	MethodLeader   = "ctrl.leader"
+)
+
+// KillControllerOp is the fault-injection op a replica consults before
+// every lease round; an injected fault crashes the replica, so chaos
+// scripts (chaos.Injector.Script / At) can kill the primary at a chosen
+// moment — the live KillActiveReplica.
+func KillControllerOp(id int) string { return fmt.Sprintf("kill-controller/%d", id) }
+
+// FaultHook is the fault-injection interface the replica consults
+// (chaos.Injector satisfies it).
+type FaultHook interface {
+	Fault(op string) error
+}
+
+// ReplicaState is a replica's election role.
+type ReplicaState int
+
+const (
+	// Follower replicas apply leases and time out into candidacy.
+	Follower ReplicaState = iota
+	// Candidate replicas are soliciting votes for a new term.
+	Candidate
+	// Leader is the serving primary.
+	Leader
+	// Dead replicas have crashed (or been killed by chaos).
+	Dead
+)
+
+// String implements fmt.Stringer.
+func (s ReplicaState) String() string {
+	switch s {
+	case Follower:
+		return "follower"
+	case Candidate:
+		return "candidate"
+	case Leader:
+		return "leader"
+	default:
+		return "dead"
+	}
+}
+
+// ReplicaConfig tunes one controller replica.
+type ReplicaConfig struct {
+	// ID is this replica's index in the replica set [0, Replicas).
+	ID int
+	// Replicas is the replica-set size (1 primary + N hot standbys;
+	// §4.7 runs 3).
+	Replicas int
+	// ElectionTimeoutMin/Max bound the randomized follower timeout that
+	// triggers candidacy. Draws are seeded, so a fixed Seed yields a
+	// deterministic timeout sequence.
+	ElectionTimeoutMin time.Duration
+	ElectionTimeoutMax time.Duration
+	// LeaseInterval is the primary's state-replication heartbeat period.
+	LeaseInterval time.Duration
+	// VoteTimeout bounds each vote/lease RPC.
+	VoteTimeout time.Duration
+	// HeartbeatTimeout marks a registered device failed when its last
+	// beat is older than this (the live HeartbeatTimeoutS; §4.6: 3 s).
+	HeartbeatTimeout time.Duration
+	// CheckPeriod is the primary's device-staleness scan period.
+	CheckPeriod time.Duration
+	// Seed makes election-timeout draws deterministic (0: wall clock).
+	Seed int64
+	// Fault, if non-nil, is consulted with KillControllerOp(ID) before
+	// every lease round; an injected fault crashes the replica.
+	Fault FaultHook
+	// Recover, if non-nil, runs on promotion: the new primary enumerates
+	// orphaned checkpointed tasks and re-dispatches them (wired to
+	// runtime.Gateway.Recover). It returns how many were re-dispatched.
+	Recover func(ctx context.Context) (int, error)
+	// OnRepartition, if non-nil, fires after a live repartition with the
+	// failed device id and the gaining device ids.
+	OnRepartition func(failed int, gainers []int)
+}
+
+// DefaultReplicaConfig mirrors the sim-side DefaultConfig at live-wire
+// timescales: 1 s device beats with a 3 s staleness cutoff, and an
+// election settling well inside the sim's 0.5 s failover budget.
+func DefaultReplicaConfig(id, replicas int, seed int64) ReplicaConfig {
+	return ReplicaConfig{
+		ID:                 id,
+		Replicas:           replicas,
+		ElectionTimeoutMin: 150 * time.Millisecond,
+		ElectionTimeoutMax: 300 * time.Millisecond,
+		LeaseInterval:      50 * time.Millisecond,
+		VoteTimeout:        100 * time.Millisecond,
+		HeartbeatTimeout:   3 * time.Second,
+		CheckPeriod:        time.Second,
+		Seed:               seed,
+	}
+}
+
+// TaskRecord is one in-flight task table entry, replicated to standbys
+// so a new primary knows what was running when the old one died.
+type TaskRecord struct {
+	Method string
+	Step   int
+}
+
+// Member is one live-registered device's controller-side state.
+type Member struct {
+	ID       int
+	Region   geo.Rect
+	LastBeat time.Time
+	Failed   bool
+}
+
+// wire messages (JSON-encoded over internal/rpc).
+type voteReq struct {
+	Term      uint64
+	Candidate int
+}
+
+type voteResp struct {
+	Term    uint64
+	Granted bool
+}
+
+type wireMember struct {
+	Region geo.Rect
+	AgoNS  int64 // beat age relative to the leader's clock
+	Failed bool
+}
+
+type leaseMsg struct {
+	Term    uint64
+	Leader  int
+	Members map[int]wireMember
+	Tasks   map[string]TaskRecord
+}
+
+type leaseResp struct {
+	Term uint64
+	OK   bool
+}
+
+type registerReq struct {
+	ID     int
+	Region geo.Rect
+}
+
+type beatReq struct {
+	ID int
+}
+
+type memberResp struct {
+	Region geo.Rect
+	Failed bool
+}
+
+type leaderResp struct {
+	Leader int
+	Term   uint64
+	State  string
+}
+
+// Replica is one live controller process: an RPC server plus the
+// election and replication loops. Wire its Server() to a listener (or
+// in-process pipes) and point peer dial functions at the other
+// replicas.
+type Replica struct {
+	cfg   ReplicaConfig
+	mon   *Monitor
+	srv   *rpc.Server
+	peers map[int]*rpc.ReliableClient
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	state       ReplicaState
+	term        uint64
+	votedFor    int
+	leaderID    int
+	lastContact time.Time // last lease applied or vote granted (timer base)
+	lastLease   time.Time // last lease applied from a serving leader
+	lastQuorum  time.Time // leader: last majority-acked lease round
+	lastScan    time.Time
+	timeout     time.Duration // current randomized election timeout
+	members     map[int]*Member
+	tasks       map[string]TaskRecord
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewReplica builds one controller replica. peerDials maps replica id →
+// dial function for every *other* replica; mon may be shared across the
+// replica set so counters aggregate (Monitor is goroutine-safe). The
+// replica starts as a follower; call Start to run its loops.
+func NewReplica(cfg ReplicaConfig, peerDials map[int]func() (net.Conn, error), mon *Monitor) *Replica {
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = len(peerDials) + 1
+	}
+	if cfg.ElectionTimeoutMin <= 0 || cfg.ElectionTimeoutMax < cfg.ElectionTimeoutMin {
+		d := DefaultReplicaConfig(cfg.ID, cfg.Replicas, cfg.Seed)
+		cfg.ElectionTimeoutMin, cfg.ElectionTimeoutMax = d.ElectionTimeoutMin, d.ElectionTimeoutMax
+	}
+	if cfg.LeaseInterval <= 0 {
+		cfg.LeaseInterval = 50 * time.Millisecond
+	}
+	if cfg.VoteTimeout <= 0 {
+		cfg.VoteTimeout = 2 * cfg.LeaseInterval
+	}
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = 3 * time.Second
+	}
+	if cfg.CheckPeriod <= 0 {
+		cfg.CheckPeriod = time.Second
+	}
+	if mon == nil {
+		mon = NewMonitor()
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	r := &Replica{
+		cfg:      cfg,
+		mon:      mon,
+		srv:      rpc.NewServer(),
+		peers:    make(map[int]*rpc.ReliableClient, len(peerDials)),
+		rng:      rand.New(rand.NewSource(seed + int64(cfg.ID)*7919)),
+		votedFor: -1,
+		leaderID: -1,
+		members:  make(map[int]*Member),
+		tasks:    make(map[string]TaskRecord),
+		stop:     make(chan struct{}),
+	}
+	for id, dial := range peerDials {
+		r.peers[id] = rpc.NewReliableClient(dial, rpc.ReliableOptions{
+			Callers:     8,
+			CallTimeout: cfg.VoteTimeout,
+			Retry:       rpc.RetryPolicy{Max: 0}, // the election loop is the retry
+			Seed:        seed + int64(id) + 1,
+		})
+	}
+	r.lastContact = time.Now()
+	r.timeout = r.drawTimeout()
+	r.registerHandlers()
+	return r
+}
+
+// drawTimeout picks the next randomized election timeout (caller holds
+// no lock on rng except mu; call under mu or before Start).
+func (r *Replica) drawTimeout() time.Duration {
+	span := r.cfg.ElectionTimeoutMax - r.cfg.ElectionTimeoutMin
+	if span <= 0 {
+		return r.cfg.ElectionTimeoutMin
+	}
+	return r.cfg.ElectionTimeoutMin + time.Duration(r.rng.Int63n(int64(span)))
+}
+
+// Server returns the replica's RPC server (serve it on a listener or
+// in-process pipes).
+func (r *Replica) Server() *rpc.Server { return r.srv }
+
+// Monitor returns the replica's metrics registry.
+func (r *Replica) Monitor() *Monitor { return r.mon }
+
+// Start launches the election/lease loops.
+func (r *Replica) Start() {
+	r.wg.Add(1)
+	go r.loop()
+}
+
+// Stop shuts the replica down gracefully (same mechanics as Kill; the
+// split exists so tests read as intent).
+func (r *Replica) Stop() { r.Kill() }
+
+// Kill crashes the replica: loops stop, the RPC server closes (dropping
+// every device and peer connection), and the replica never serves
+// again. Standbys detect the missing lease and elect a new primary.
+func (r *Replica) Kill() {
+	r.stopOnce.Do(func() {
+		r.mu.Lock()
+		r.state = Dead
+		r.mu.Unlock()
+		close(r.stop)
+		r.srv.Close()
+		for _, p := range r.peers {
+			p.Close()
+		}
+	})
+	r.wg.Wait()
+}
+
+// State returns the replica's current role.
+func (r *Replica) State() ReplicaState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state
+}
+
+// IsLeader reports whether this replica is the serving primary.
+func (r *Replica) IsLeader() bool { return r.State() == Leader }
+
+// Leader returns the believed leader id (-1 mid-election) and term.
+func (r *Replica) Leader() (int, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.leaderID, r.term
+}
+
+// Admission returns a gate for primary-only services fronted by this
+// replica (e.g. a gateway's chain methods): nil when leader, a
+// NotLeaderError redirect otherwise. Wire it into
+// runtime.GatewayConfig.Admission.
+func (r *Replica) Admission() func() error {
+	return func() error {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if r.state == Leader {
+			return nil
+		}
+		return rpc.NotLeaderError(r.leaderID)
+	}
+}
+
+// TaskStarted records an in-flight task on the primary's replicated
+// table (satisfies runtime.TaskTracker).
+func (r *Replica) TaskStarted(id, method string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tasks[id] = TaskRecord{Method: method}
+}
+
+// TaskStep advances a tracked task's step index.
+func (r *Replica) TaskStep(id string, step int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t, ok := r.tasks[id]; ok && step > t.Step {
+		t.Step = step
+		r.tasks[id] = t
+	}
+}
+
+// TaskFinished drops a completed task from the table (satisfies
+// runtime.TaskTracker).
+func (r *Replica) TaskFinished(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.tasks, id)
+}
+
+// Tasks snapshots the in-flight task table.
+func (r *Replica) Tasks() map[string]TaskRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]TaskRecord, len(r.tasks))
+	for k, v := range r.tasks {
+		out[k] = v
+	}
+	return out
+}
+
+// Members snapshots the device registry, sorted by id.
+func (r *Replica) Members() []Member {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Member, 0, len(r.members))
+	for _, m := range r.members {
+		out = append(out, *m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// registerHandlers binds the replica's RPC surface.
+func (r *Replica) registerHandlers() {
+	r.srv.Register(MethodVote, r.handleVote)
+	r.srv.Register(MethodLease, r.handleLease)
+	r.srv.Register(MethodRegister, r.handleRegister)
+	r.srv.Register(MethodBeat, r.handleBeat)
+	r.srv.Register(MethodLeader, func([]byte) ([]byte, error) {
+		r.mu.Lock()
+		resp := leaderResp{Leader: r.leaderID, Term: r.term, State: r.state.String()}
+		r.mu.Unlock()
+		return json.Marshal(resp)
+	})
+}
+
+// loop drives the role state machine on a fine-grained tick.
+func (r *Replica) loop() {
+	defer r.wg.Done()
+	tick := r.cfg.LeaseInterval / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+		}
+		r.mu.Lock()
+		state := r.state
+		timedOut := time.Since(r.lastContact) > r.timeout
+		leaseDue := state == Leader && time.Since(r.lastQuorum) >= r.cfg.LeaseInterval
+		r.mu.Unlock()
+		switch {
+		case state == Dead:
+			return
+		case state == Leader && leaseDue:
+			r.leaderRound()
+		case state != Leader && timedOut:
+			r.runElection()
+		}
+	}
+}
+
+// leaderRound is one primary duty cycle: consult the chaos hook, scan
+// device heartbeats, broadcast the state lease.
+func (r *Replica) leaderRound() {
+	if r.cfg.Fault != nil {
+		if err := r.cfg.Fault.Fault(KillControllerOp(r.cfg.ID)); err != nil {
+			go r.Kill() // crash without deadlocking on our own wg
+			return
+		}
+	}
+	r.scanDevices()
+	r.broadcastLease()
+}
+
+// runElection runs one candidacy round: bump the term, vote for self,
+// solicit the peers, and take leadership on majority.
+func (r *Replica) runElection() {
+	r.mu.Lock()
+	if r.state == Leader || r.state == Dead {
+		r.mu.Unlock()
+		return
+	}
+	r.term++
+	term := r.term
+	r.state = Candidate
+	r.votedFor = r.cfg.ID
+	r.leaderID = -1
+	r.lastContact = time.Now()
+	r.timeout = r.drawTimeout()
+	r.mu.Unlock()
+
+	req, _ := json.Marshal(voteReq{Term: term, Candidate: r.cfg.ID})
+	votes := 1 // self
+	var maxTerm uint64
+	var vmu sync.Mutex
+	var wg sync.WaitGroup
+	for _, p := range r.peers {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), r.cfg.VoteTimeout)
+			defer cancel()
+			raw, err := p.Call(ctx, MethodVote, req)
+			if err != nil {
+				return
+			}
+			var resp voteResp
+			if json.Unmarshal(raw, &resp) != nil {
+				return
+			}
+			vmu.Lock()
+			if resp.Granted {
+				votes++
+			}
+			if resp.Term > maxTerm {
+				maxTerm = resp.Term
+			}
+			vmu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	r.mu.Lock()
+	if maxTerm > r.term {
+		// A peer is ahead: fall back to follower at its term.
+		r.term = maxTerm
+		r.state = Follower
+		r.votedFor = -1
+		r.mu.Unlock()
+		return
+	}
+	if r.state != Candidate || r.term != term || votes < r.quorum() {
+		r.mu.Unlock()
+		return // superseded or lost; the timer retries with a fresh draw
+	}
+	r.state = Leader
+	r.leaderID = r.cfg.ID
+	now := time.Now()
+	r.lastQuorum = now
+	r.lastScan = now
+	r.mon.CountEvent(EventElection)
+	promotedAfter := time.Duration(0)
+	if !r.lastLease.IsZero() {
+		// A previously serving primary existed: this is a failover, and
+		// the unavailability window ran from its last lease to now.
+		promotedAfter = now.Sub(r.lastLease)
+		r.mon.CountEvent(EventFailover)
+		r.mon.Observe(SampleFailoverLatency, promotedAfter.Seconds())
+	}
+	recover := r.cfg.Recover
+	r.mu.Unlock()
+
+	// Assert authority immediately, then re-dispatch orphaned tasks
+	// through the checkpoint log (§4.7 takeover).
+	r.broadcastLease()
+	if recover != nil {
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*r.cfg.HeartbeatTimeout)
+			defer cancel()
+			if n, err := recover(ctx); err == nil {
+				r.mon.CountEventN(EventOrphanRedispatch, n)
+			}
+		}()
+	}
+}
+
+// quorum is the majority size of the replica set.
+func (r *Replica) quorum() int { return r.cfg.Replicas/2 + 1 }
+
+// broadcastLease ships the replicated state (device registry + task
+// table) to every standby and renews the leadership lease on majority
+// ack. Losing the majority for longer than the election timeout demotes
+// the leader, so a partitioned old primary cannot keep serving.
+func (r *Replica) broadcastLease() {
+	r.mu.Lock()
+	if r.state != Leader {
+		r.mu.Unlock()
+		return
+	}
+	term := r.term
+	now := time.Now()
+	msg := leaseMsg{
+		Term:    term,
+		Leader:  r.cfg.ID,
+		Members: make(map[int]wireMember, len(r.members)),
+		Tasks:   make(map[string]TaskRecord, len(r.tasks)),
+	}
+	for id, m := range r.members {
+		msg.Members[id] = wireMember{Region: m.Region, AgoNS: now.Sub(m.LastBeat).Nanoseconds(), Failed: m.Failed}
+	}
+	for id, t := range r.tasks {
+		msg.Tasks[id] = t
+	}
+	r.mu.Unlock()
+
+	raw, _ := json.Marshal(msg)
+	acks := 1 // self
+	var maxTerm uint64
+	var amu sync.Mutex
+	var wg sync.WaitGroup
+	for _, p := range r.peers {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), r.cfg.VoteTimeout)
+			defer cancel()
+			rawResp, err := p.Call(ctx, MethodLease, raw)
+			if err != nil {
+				return
+			}
+			var resp leaseResp
+			if json.Unmarshal(rawResp, &resp) != nil {
+				return
+			}
+			amu.Lock()
+			if resp.OK {
+				acks++
+			}
+			if resp.Term > maxTerm {
+				maxTerm = resp.Term
+			}
+			amu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state != Leader || r.term != term {
+		return
+	}
+	if maxTerm > r.term {
+		r.term = maxTerm
+		r.state = Follower
+		r.votedFor = -1
+		r.leaderID = -1
+		return
+	}
+	if acks >= r.quorum() {
+		r.lastQuorum = time.Now()
+	} else if time.Since(r.lastQuorum) > r.cfg.ElectionTimeoutMax {
+		// Lease expired without majority contact: step down rather than
+		// split-brain with a newly elected primary.
+		r.state = Follower
+		r.leaderID = -1
+		r.lastContact = time.Now()
+		r.timeout = r.drawTimeout()
+	}
+}
+
+// handleVote answers a candidate's vote request.
+func (r *Replica) handleVote(payload []byte) ([]byte, error) {
+	var req voteReq
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return nil, rpc.ServerError("controller: bad vote request")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	resp := voteResp{Term: r.term}
+	if req.Term < r.term {
+		return json.Marshal(resp)
+	}
+	// Leader stickiness: while the current leader's lease is fresh,
+	// refuse to unseat it (prevents a flappy peer from forcing churn).
+	if req.Term == r.term && r.leaderID != -1 && req.Candidate != r.leaderID &&
+		time.Since(r.lastLease) < r.cfg.ElectionTimeoutMin {
+		return json.Marshal(resp)
+	}
+	if req.Term > r.term {
+		r.term = req.Term
+		r.votedFor = -1
+		if r.state == Leader || r.state == Candidate {
+			r.state = Follower
+		}
+		r.leaderID = -1
+	}
+	resp.Term = r.term
+	if r.votedFor == -1 || r.votedFor == req.Candidate {
+		r.votedFor = req.Candidate
+		r.lastContact = time.Now() // granting a vote resets the timer
+		resp.Granted = true
+	}
+	return json.Marshal(resp)
+}
+
+// handleLease applies a primary's state broadcast.
+func (r *Replica) handleLease(payload []byte) ([]byte, error) {
+	var msg leaseMsg
+	if err := json.Unmarshal(payload, &msg); err != nil {
+		return nil, rpc.ServerError("controller: bad lease")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if msg.Term < r.term {
+		return json.Marshal(leaseResp{Term: r.term})
+	}
+	if msg.Term > r.term {
+		r.votedFor = -1
+	}
+	r.term = msg.Term
+	r.state = Follower
+	r.leaderID = msg.Leader
+	now := time.Now()
+	r.lastContact = now
+	r.lastLease = now
+	// Apply the replicated snapshot. Beat ages are relative to the
+	// leader's clock, so absolute wall-clock skew between replicas does
+	// not corrupt staleness decisions after a takeover.
+	members := make(map[int]*Member, len(msg.Members))
+	for id, wm := range msg.Members {
+		members[id] = &Member{ID: id, Region: wm.Region, LastBeat: now.Add(-time.Duration(wm.AgoNS)), Failed: wm.Failed}
+	}
+	r.members = members
+	tasks := make(map[string]TaskRecord, len(msg.Tasks))
+	for id, t := range msg.Tasks {
+		tasks[id] = t
+	}
+	r.tasks = tasks
+	return json.Marshal(leaseResp{Term: r.term, OK: true})
+}
+
+// handleRegister admits a device into the live membership service.
+// Registration is idempotent and revives a previously failed device.
+func (r *Replica) handleRegister(payload []byte) ([]byte, error) {
+	var req registerReq
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return nil, rpc.ServerError("controller: bad register request")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state != Leader {
+		return nil, rpc.NotLeaderError(r.leaderID)
+	}
+	m, ok := r.members[req.ID]
+	if !ok {
+		m = &Member{ID: req.ID}
+		r.members[req.ID] = m
+	}
+	m.Region = req.Region
+	m.LastBeat = time.Now()
+	m.Failed = false
+	return json.Marshal(memberResp{Region: m.Region})
+}
+
+// handleBeat records a device heartbeat and returns the device's
+// current route, so repartition gainers pick their grown region up on
+// the next beat (the live route push of Fig. 10).
+func (r *Replica) handleBeat(payload []byte) ([]byte, error) {
+	var req beatReq
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return nil, rpc.ServerError("controller: bad heartbeat")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state != Leader {
+		return nil, rpc.NotLeaderError(r.leaderID)
+	}
+	m, ok := r.members[req.ID]
+	if !ok {
+		return nil, rpc.ServerError(unknownDeviceMsg)
+	}
+	if !m.Failed {
+		m.LastBeat = time.Now()
+	}
+	return json.Marshal(memberResp{Region: m.Region, Failed: m.Failed})
+}
+
+// scanDevices is the primary's staleness scan: devices whose beats are
+// older than HeartbeatTimeout are marked failed and their region is
+// repartitioned among alive members (§4.6).
+func (r *Replica) scanDevices() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if time.Since(r.lastScan) < r.cfg.CheckPeriod {
+		return
+	}
+	r.lastScan = time.Now()
+	now := r.lastScan
+	ids := make([]int, 0, len(r.members))
+	for id := range r.members {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		m := r.members[id]
+		if m.Failed || now.Sub(m.LastBeat) <= r.cfg.HeartbeatTimeout {
+			continue
+		}
+		r.mon.CountEvent(EventHeartbeatMissed)
+		r.failMemberLocked(ids, id)
+	}
+}
+
+// failMemberLocked marks one device failed and repartitions its region.
+// Caller holds r.mu.
+func (r *Replica) failMemberLocked(ids []int, failedID int) {
+	m := r.members[failedID]
+	m.Failed = true
+	r.mon.CountEvent(EventDeviceFailure)
+	if !m.Region.Valid() {
+		return
+	}
+	regions := make([]geo.Rect, len(ids))
+	alive := make([]bool, len(ids))
+	failedIdx := -1
+	for i, id := range ids {
+		mm := r.members[id]
+		regions[i] = mm.Region
+		alive[i] = !mm.Failed
+		if id == failedID {
+			failedIdx = i
+		}
+	}
+	newRegs, gainers := geo.Repartition(regions, alive, failedIdx)
+	gainerIDs := make([]int, 0, len(gainers))
+	for i, id := range ids {
+		r.members[id].Region = newRegs[i]
+	}
+	for _, gi := range gainers {
+		gainerIDs = append(gainerIDs, ids[gi])
+		r.mon.CountEvent(EventRouteUpdate)
+	}
+	if r.cfg.OnRepartition != nil {
+		r.cfg.OnRepartition(failedID, gainerIDs)
+	}
+}
+
+// --- device-side membership client ---------------------------------
+
+// MemberClient is the device-side half of the live membership service:
+// it registers once and then heartbeats through a leader-following
+// FailoverClient, keeping the device's current route assignment.
+type MemberClient struct {
+	id int
+	fc *rpc.FailoverClient
+
+	mu     sync.Mutex
+	region geo.Rect
+	failed bool
+}
+
+// NewMemberClient wraps a FailoverClient for one device id.
+func NewMemberClient(id int, fc *rpc.FailoverClient) *MemberClient {
+	return &MemberClient{id: id, fc: fc}
+}
+
+// Register announces the device and its initial region to the primary.
+func (mc *MemberClient) Register(ctx context.Context, region geo.Rect) error {
+	raw, _ := json.Marshal(registerReq{ID: mc.id, Region: region})
+	out, err := mc.fc.Call(ctx, MethodRegister, raw)
+	if err != nil {
+		return err
+	}
+	var resp memberResp
+	if err := json.Unmarshal(out, &resp); err != nil {
+		return err
+	}
+	mc.mu.Lock()
+	mc.region, mc.failed = resp.Region, resp.Failed
+	mc.mu.Unlock()
+	return nil
+}
+
+// unknownDeviceMsg is the beat rejection for an unregistered device id.
+// MemberClient recognises it to re-register after a failover that lost
+// a not-yet-replicated registration.
+const unknownDeviceMsg = "controller: unknown device; register first"
+
+// Beat sends one heartbeat and refreshes the device's route. If the
+// primary does not know the device — a takeover can lose registrations
+// the dead primary had not yet replicated — Beat re-registers with the
+// last route this device held, so membership self-heals on the next
+// heartbeat instead of dropping the device forever.
+func (mc *MemberClient) Beat(ctx context.Context) error {
+	raw, _ := json.Marshal(beatReq{ID: mc.id})
+	out, err := mc.fc.Call(ctx, MethodBeat, raw)
+	if err != nil {
+		if strings.Contains(err.Error(), unknownDeviceMsg) {
+			return mc.Register(ctx, mc.Region())
+		}
+		return err
+	}
+	var resp memberResp
+	if err := json.Unmarshal(out, &resp); err != nil {
+		return err
+	}
+	mc.mu.Lock()
+	mc.region, mc.failed = resp.Region, resp.Failed
+	mc.mu.Unlock()
+	return nil
+}
+
+// Region returns the route the controller last assigned this device.
+func (mc *MemberClient) Region() geo.Rect {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return mc.region
+}
+
+// MarkedFailed reports whether the controller has declared this device
+// failed.
+func (mc *MemberClient) MarkedFailed() bool {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return mc.failed
+}

@@ -12,6 +12,7 @@ package faas
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"hivemind/internal/accel"
 	"hivemind/internal/cluster"
@@ -91,6 +92,15 @@ func DefaultConfig() Config {
 		MitigationPctl:   90,
 		AggregationBaseS: 0.006,
 	}
+}
+
+// RespawnDelayDuration converts the model's respawn pause (seconds) to
+// the wall-clock duration the live gateway uses
+// (runtime.GatewayConfig.RespawnDelay), so the two substrates respawn
+// on the same cadence — see the calibration test asserting the 120 ms
+// default agrees.
+func (c Config) RespawnDelayDuration() time.Duration {
+	return sim.DurationOf(c.RespawnDelayS)
 }
 
 // HiveMindConfig returns the platform tuned as §4.3–4.4 describe:

@@ -12,6 +12,7 @@ import (
 	"hivemind/internal/accel"
 	"hivemind/internal/apps"
 	"hivemind/internal/cluster"
+	"hivemind/internal/controller"
 	"hivemind/internal/device"
 	"hivemind/internal/faas"
 	"hivemind/internal/geo"
@@ -67,7 +68,11 @@ type Options struct {
 	NetCfg    netsim.Config
 	ClusterCf cluster.Config
 	FaasCfg   faas.Config
-	Seed      int64
+	// CtrlCfg tunes the centralized controller a HiveMind mission runs:
+	// heartbeat detection, hot-standby count, failover delay (§4.6,
+	// §4.7). Preset fills in controller.DefaultConfig().
+	CtrlCfg controller.Config
+	Seed    int64
 
 	// Feature toggles (pre-set per Kind; the Fig. 13 ablations flip
 	// them individually).
@@ -120,6 +125,7 @@ func Preset(kind SystemKind, devices int, seed int64) Options {
 		DeviceCfg:          device.DroneConfig(),
 		NetCfg:             netsim.DefaultConfig(),
 		ClusterCf:          cluster.DefaultConfig(),
+		CtrlCfg:            controller.DefaultConfig(),
 		Seed:               seed,
 		HybridUploadFrac:   0.45,
 		HybridEdgeWorkFrac: 0.05,

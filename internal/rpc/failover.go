@@ -1,0 +1,218 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// notLeaderPrefix marks the redirect error a replicated service's
+// standby returns when asked to do primary-only work. The suffix is the
+// replica id of the believed leader, or -1 when an election is still in
+// progress.
+const notLeaderPrefix = "rpc: not leader; leader="
+
+// NotLeaderError builds the standard redirect a standby replica returns
+// for primary-only methods. leader is the replica id the caller should
+// re-route to (-1: unknown, mid-election).
+func NotLeaderError(leader int) ServerError {
+	return ServerError(notLeaderPrefix + strconv.Itoa(leader))
+}
+
+// RedirectTarget extracts the leader hint from a NotLeaderError. ok is
+// false for every other error.
+func RedirectTarget(err error) (leader int, ok bool) {
+	var se ServerError
+	if !errors.As(err, &se) {
+		return 0, false
+	}
+	s := string(se)
+	if !strings.HasPrefix(s, notLeaderPrefix) {
+		return 0, false
+	}
+	n, convErr := strconv.Atoi(s[len(notLeaderPrefix):])
+	if convErr != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// FailoverOptions tunes the leader-following client.
+type FailoverOptions struct {
+	// Callers sizes each endpoint connection's caller pool.
+	Callers int
+	// Attempts bounds call attempts across endpoints and sweeps
+	// (0: 4 × the endpoint count).
+	Attempts int
+	// RetryBackoff is the pause before re-attempting after a redirect or
+	// a transport failure (an election may still be settling).
+	RetryBackoff time.Duration
+	// CallTimeout bounds each individual attempt (0: only the caller's
+	// ctx bounds it).
+	CallTimeout time.Duration
+}
+
+// FailoverClient routes calls to the current primary of a replicated
+// service (e.g. the ReplicatedController's fronting gateways). Standbys
+// answer primary-only methods with NotLeaderError; the client follows
+// the redirect, and on transport failures it sweeps the remaining
+// endpoints until one serves — the edge-side half of the §4.7
+// hot-standby takeover. Calls may execute more than once across a
+// failover, so routed methods must be idempotent (the checkpointed
+// chain path deduplicates by task id).
+type FailoverClient struct {
+	dials []func() (net.Conn, error)
+	opts  FailoverOptions
+
+	mu  sync.Mutex
+	cls []*Client
+	cur int
+}
+
+// NewFailoverClient builds a client over one dial function per replica;
+// the slice index is the replica id redirects refer to.
+func NewFailoverClient(dials []func() (net.Conn, error), opts FailoverOptions) *FailoverClient {
+	if len(dials) == 0 {
+		panic("rpc: failover client needs at least one endpoint")
+	}
+	if opts.Callers <= 0 {
+		opts.Callers = 8
+	}
+	if opts.Attempts <= 0 {
+		opts.Attempts = 4 * len(dials)
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = 25 * time.Millisecond
+	}
+	return &FailoverClient{dials: dials, opts: opts, cls: make([]*Client, len(dials))}
+}
+
+// DialFailover builds a leader-following client over TCP addresses.
+func DialFailover(addrs []string, opts FailoverOptions) *FailoverClient {
+	dials := make([]func() (net.Conn, error), len(addrs))
+	for i, addr := range addrs {
+		addr := addr
+		dials[i] = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	return NewFailoverClient(dials, opts)
+}
+
+// Leader returns the endpoint index calls currently route to.
+func (f *FailoverClient) Leader() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cur
+}
+
+// clientFor returns a healthy connection to endpoint idx, dialing if
+// needed.
+func (f *FailoverClient) clientFor(idx int) (*Client, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if cl := f.cls[idx]; cl != nil && cl.Healthy() {
+		return cl, nil
+	}
+	conn, err := f.dials[idx]()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errReconnect, err)
+	}
+	if f.cls[idx] != nil {
+		f.cls[idx].Close()
+	}
+	f.cls[idx] = NewClient(conn, f.opts.Callers)
+	return f.cls[idx], nil
+}
+
+// route updates the believed leader: an explicit redirect target wins,
+// otherwise advance past the failed endpoint round-robin.
+func (f *FailoverClient) route(from, target int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if target >= 0 && target < len(f.dials) {
+		f.cur = target
+		return
+	}
+	if f.cur == from {
+		f.cur = (from + 1) % len(f.dials)
+	}
+}
+
+// Call routes one call to the current primary, following redirects and
+// sweeping endpoints on transport failures. ctx bounds the whole call
+// including backoffs.
+func (f *FailoverClient) Call(ctx context.Context, method string, payload []byte) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < f.opts.Attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return nil, fmt.Errorf("%w (last attempt: %v)", err, lastErr)
+			}
+			return nil, err
+		}
+		if attempt > 0 {
+			t := time.NewTimer(f.opts.RetryBackoff)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, fmt.Errorf("%w (last attempt: %v)", ctx.Err(), lastErr)
+			}
+		}
+		idx := f.Leader()
+		cl, err := f.clientFor(idx)
+		if err != nil {
+			lastErr = err
+			f.route(idx, -1)
+			continue
+		}
+		actx := ctx
+		if f.opts.CallTimeout > 0 {
+			var cancel context.CancelFunc
+			actx, cancel = context.WithTimeout(ctx, f.opts.CallTimeout)
+			out, err := cl.Call(actx, method, payload)
+			cancel()
+			if err == nil {
+				return out, nil
+			}
+			lastErr = err
+		} else {
+			out, err := cl.Call(actx, method, payload)
+			if err == nil {
+				return out, nil
+			}
+			lastErr = err
+		}
+		if target, ok := RedirectTarget(lastErr); ok {
+			f.route(idx, target)
+			continue
+		}
+		var se ServerError
+		if errors.As(lastErr, &se) {
+			// A real application error from the serving primary: the
+			// request executed, re-routing cannot help.
+			return nil, lastErr
+		}
+		if ctx.Err() != nil {
+			continue // surfaces at the top of the loop
+		}
+		f.route(idx, -1) // transport failure: sweep on
+	}
+	return nil, fmt.Errorf("rpc: no endpoint served %s after %d attempts: %w", method, f.opts.Attempts, lastErr)
+}
+
+// Close tears down every endpoint connection.
+func (f *FailoverClient) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, cl := range f.cls {
+		if cl != nil {
+			cl.Close()
+			f.cls[i] = nil
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNotLeaderErrorRoundTrip(t *testing.T) {
+	for _, leader := range []int{-1, 0, 7} {
+		err := NotLeaderError(leader)
+		got, ok := RedirectTarget(err)
+		if !ok || got != leader {
+			t.Fatalf("RedirectTarget(%v) = %d,%v; want %d,true", err, got, ok, leader)
+		}
+	}
+	if _, ok := RedirectTarget(ServerError("boom")); ok {
+		t.Fatal("plain server error misread as redirect")
+	}
+	if _, ok := RedirectTarget(errors.New("transport")); ok {
+		t.Fatal("transport error misread as redirect")
+	}
+}
+
+// serveReplicaSet builds n servers where only the leader answers; the
+// others redirect to it. Returns the listeners' dial functions and a
+// setter to move leadership.
+func serveReplicaSet(t *testing.T, n int) ([]func() (net.Conn, error), *atomic.Int64, *[]*Server) {
+	t.Helper()
+	var leader atomic.Int64
+	dials := make([]func() (net.Conn, error), n)
+	servers := make([]*Server, n)
+	for i := 0; i < n; i++ {
+		i := i
+		srv := NewServer()
+		srv.Register("work", func(payload []byte) ([]byte, error) {
+			if int(leader.Load()) != i {
+				return nil, NotLeaderError(int(leader.Load()))
+			}
+			return append([]byte("done:"), payload...), nil
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		go srv.Serve(ln)
+		t.Cleanup(srv.Close)
+		addr := ln.Addr().String()
+		dials[i] = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+		servers[i] = srv
+	}
+	return dials, &leader, &servers
+}
+
+func TestFailoverClientFollowsRedirect(t *testing.T) {
+	dials, leader, _ := serveReplicaSet(t, 3)
+	leader.Store(2)
+	fc := NewFailoverClient(dials, FailoverOptions{RetryBackoff: time.Millisecond})
+	defer fc.Close()
+
+	out, err := fc.Call(context.Background(), "work", []byte("x"))
+	if err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	if string(out) != "done:x" {
+		t.Fatalf("out = %q", out)
+	}
+	if fc.Leader() != 2 {
+		t.Fatalf("client routed to %d, want 2", fc.Leader())
+	}
+	// Subsequent calls go straight to the leader.
+	if _, err := fc.Call(context.Background(), "work", []byte("y")); err != nil {
+		t.Fatalf("second call: %v", err)
+	}
+}
+
+func TestFailoverClientSweepsPastDeadEndpoint(t *testing.T) {
+	dials, leader, servers := serveReplicaSet(t, 3)
+	leader.Store(0)
+	fc := NewFailoverClient(dials, FailoverOptions{RetryBackoff: time.Millisecond})
+	defer fc.Close()
+	if _, err := fc.Call(context.Background(), "work", nil); err != nil {
+		t.Fatalf("warm-up call: %v", err)
+	}
+
+	// Kill the leader's server and move leadership: the client must
+	// sweep to a live endpoint and follow its redirect.
+	(*servers)[0].Close()
+	leader.Store(1)
+	out, err := fc.Call(context.Background(), "work", []byte("z"))
+	if err != nil {
+		t.Fatalf("failover call: %v", err)
+	}
+	if string(out) != "done:z" {
+		t.Fatalf("out = %q", out)
+	}
+	if fc.Leader() != 1 {
+		t.Fatalf("client routed to %d, want 1", fc.Leader())
+	}
+}
+
+func TestFailoverClientSurfacesServerErrors(t *testing.T) {
+	srv := NewServer()
+	srv.Register("work", func([]byte) ([]byte, error) {
+		return nil, ServerError("application failure")
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(srv.Close)
+	addr := ln.Addr().String()
+	fc := NewFailoverClient([]func() (net.Conn, error){
+		func() (net.Conn, error) { return net.Dial("tcp", addr) },
+	}, FailoverOptions{RetryBackoff: time.Millisecond})
+	defer fc.Close()
+
+	_, err = fc.Call(context.Background(), "work", nil)
+	var se ServerError
+	if !errors.As(err, &se) || string(se) != "application failure" {
+		t.Fatalf("err = %v, want the server error surfaced unretried", err)
+	}
+}
+
+func TestFailoverClientGivesUpWhenAllDead(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // nothing listens
+	fc := NewFailoverClient([]func() (net.Conn, error){
+		func() (net.Conn, error) { return net.Dial("tcp", addr) },
+	}, FailoverOptions{Attempts: 2, RetryBackoff: time.Millisecond})
+	defer fc.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := fc.Call(ctx, "work", nil); err == nil {
+		t.Fatal("call to dead replica set succeeded")
+	}
+}

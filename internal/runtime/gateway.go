@@ -2,10 +2,14 @@ package runtime
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"hivemind/internal/rpc"
+	"hivemind/internal/store"
 )
 
 // GatewayMonitor is the metrics sink the gateway reports into —
@@ -14,6 +18,16 @@ import (
 type GatewayMonitor interface {
 	CountEvent(name string)
 	Observe(name string, v float64)
+}
+
+// TaskTracker mirrors in-flight chains into an external table — the
+// controller replica's replicated task state (controller.Replica
+// satisfies it), so standbys know what was running when the primary
+// died.
+type TaskTracker interface {
+	TaskStarted(id, method string)
+	TaskStep(id string, step int)
+	TaskFinished(id string)
 }
 
 // GatewayConfig tunes the RPC front door's fault handling.
@@ -31,6 +45,18 @@ type GatewayConfig struct {
 	// RespawnDelay is the pause before a respawn, the live counterpart
 	// of faas.Config.RespawnDelayS (default 120 ms there).
 	RespawnDelay time.Duration
+	// Checkpoints, when set, turns every exposed chain into a durable
+	// task: the gateway write-ahead-records each step before dispatch
+	// and commits outputs create-only, so a replacement primary can
+	// re-dispatch orphans through Recover with exactly-once effects.
+	Checkpoints *store.CheckpointLog
+	// Admission, when set, gates every chain call — a controller
+	// replica's Admission() returns rpc.NotLeaderError on standbys so
+	// leader-following clients re-route instead of forking a chain.
+	Admission func() error
+	// Tracker, when set, mirrors in-flight chains into the replicated
+	// task table.
+	Tracker TaskTracker
 }
 
 // DefaultGatewayConfig mirrors the faas model's respawn calibration.
@@ -54,6 +80,10 @@ type Gateway struct {
 	srv     *rpc.Server
 	cfg     GatewayConfig
 	monitor GatewayMonitor
+
+	mu     sync.Mutex
+	chains map[string][]string // chain method -> tier functions (for Recover)
+	nextID uint64
 }
 
 // NewGateway wraps a runtime with an RPC front door. timeout bounds
@@ -70,7 +100,7 @@ func NewGatewayConfig(rt *Runtime, cfg GatewayConfig) *Gateway {
 	if cfg.StepRespawns < 0 {
 		cfg.StepRespawns = 0
 	}
-	return &Gateway{rt: rt, srv: rpc.NewServer(), cfg: cfg}
+	return &Gateway{rt: rt, srv: rpc.NewServer(), cfg: cfg, chains: make(map[string][]string)}
 }
 
 // SetMonitor installs a metrics sink (nil disables reporting). Must be
@@ -128,35 +158,200 @@ func (g *Gateway) countFailure(ctx context.Context) {
 	g.count("gateway-error")
 }
 
+// taskMagic prefixes payloads that carry an explicit task id (see
+// EncodeTask); it lets a re-submitted chain call join the original
+// task's checkpoints instead of forking a new one.
+var taskMagic = []byte("HMT1")
+
+// EncodeTask wraps a chain payload with a task id. Clients that may
+// retry across a controller failover send encoded payloads so the new
+// primary deduplicates their chain against its checkpoints.
+func EncodeTask(id string, payload []byte) []byte {
+	out := make([]byte, 0, len(taskMagic)+2+len(id)+len(payload))
+	out = append(out, taskMagic...)
+	var l [2]byte
+	binary.BigEndian.PutUint16(l[:], uint16(len(id)))
+	out = append(out, l[:]...)
+	out = append(out, id...)
+	return append(out, payload...)
+}
+
+// DecodeTask splits an EncodeTask payload; ok is false for bare
+// payloads (which get a gateway-generated task id).
+func DecodeTask(raw []byte) (id string, payload []byte, ok bool) {
+	n := len(taskMagic)
+	if len(raw) < n+2 || string(raw[:n]) != string(taskMagic) {
+		return "", raw, false
+	}
+	idLen := int(binary.BigEndian.Uint16(raw[n : n+2]))
+	if len(raw) < n+2+idLen {
+		return "", raw, false
+	}
+	return string(raw[n+2 : n+2+idLen]), raw[n+2+idLen:], true
+}
+
+// genTaskID mints a gateway-local task id for bare payloads.
+func (g *Gateway) genTaskID(method string) string {
+	n := atomic.AddUint64(&g.nextID, 1)
+	return fmt.Sprintf("%s-%d-%d", method, time.Now().UnixNano(), n)
+}
+
 // ExposeChain registers an RPC method that runs a multi-tier pipeline
 // through the store-backed chain (one edge call triggers the whole
 // cloud-side task graph, as the generated FaaS bindings do). Each step
 // is bounded by StepTimeout and respawned up to StepRespawns times
 // after RespawnDelay when it fails or times out — the live counterpart
 // of the queueing model's respawn-on-failure behaviour (§3.2, Fig. 5c).
+//
+// With GatewayConfig.Checkpoints set the chain becomes a durable task:
+// steps are write-ahead-recorded before dispatch, outputs commit
+// create-only (so re-execution after a failover lands each step's
+// effect exactly once), and Recover re-dispatches orphans.
 func (g *Gateway) ExposeChain(method string, functions []string) {
+	g.mu.Lock()
+	g.chains[method] = append([]string(nil), functions...)
+	g.mu.Unlock()
 	g.srv.RegisterCtx(method, func(ctx context.Context, payload []byte) ([]byte, error) {
+		if g.cfg.Admission != nil {
+			if err := g.cfg.Admission(); err != nil {
+				return nil, err
+			}
+		}
 		ctx, cancel := g.callCtx(ctx)
 		defer cancel()
 		start := time.Now()
-		data := payload
-		for _, fn := range functions {
-			out, err := g.runStep(ctx, method, fn, data)
-			if err != nil {
-				g.countFailure(ctx)
-				return nil, fmt.Errorf("chain %s at tier %s: %w", method, fn, err)
+		var data []byte
+		var err error
+		if g.cfg.Checkpoints != nil {
+			taskID, body, ok := DecodeTask(payload)
+			if !ok {
+				taskID = g.genTaskID(method)
 			}
-			key := fmt.Sprintf("out/%s/%s", fn, method)
-			data, err = g.rt.exchange(ctx, key, out)
-			if err != nil {
-				g.countFailure(ctx)
-				return nil, fmt.Errorf("chain %s: persisting %s: %w", method, key, err)
-			}
+			data, err = g.runDurable(ctx, method, taskID, functions, body)
+		} else {
+			data, err = g.runVolatile(ctx, method, functions, payload)
+		}
+		if err != nil {
+			g.countFailure(ctx)
+			return nil, err
 		}
 		g.observe("gateway-chain-latency", time.Since(start))
 		g.count("gateway-ok")
 		return data, nil
 	})
+}
+
+// runVolatile is the original non-checkpointed chain body.
+func (g *Gateway) runVolatile(ctx context.Context, method string, functions []string, payload []byte) ([]byte, error) {
+	data := payload
+	for _, fn := range functions {
+		out, err := g.runStep(ctx, method, fn, data)
+		if err != nil {
+			return nil, fmt.Errorf("chain %s at tier %s: %w", method, fn, err)
+		}
+		key := fmt.Sprintf("out/%s/%s", fn, method)
+		data, err = g.rt.exchange(ctx, key, out)
+		if err != nil {
+			return nil, fmt.Errorf("chain %s: persisting %s: %w", method, key, err)
+		}
+	}
+	return data, nil
+}
+
+// runDurable executes a chain against the checkpoint log: committed
+// steps are skipped (their stored output feeds the next tier), pending
+// steps run through the ordinary respawn path and then commit
+// create-only.
+func (g *Gateway) runDurable(ctx context.Context, method, taskID string, functions []string, payload []byte) ([]byte, error) {
+	ck, input, err := g.cfg.Checkpoints.Begin(taskID, method, payload)
+	if err != nil {
+		return nil, fmt.Errorf("chain %s: opening task %s: %w", method, taskID, err)
+	}
+	g.trackStart(taskID, ck.Method)
+	defer g.trackFinish(taskID)
+	data := input
+	for i, fn := range functions {
+		if out, ok, serr := g.cfg.Checkpoints.StepOutput(taskID, i); serr != nil {
+			return nil, fmt.Errorf("chain %s: reading step %d of %s: %w", method, i, taskID, serr)
+		} else if ok {
+			data = out // already committed by a previous incarnation
+			continue
+		}
+		// Write-ahead: the step index is durable before dispatch, so a
+		// crash right after this point leaves an enumerable orphan.
+		if err := g.cfg.Checkpoints.Advance(taskID, i); err != nil {
+			return nil, fmt.Errorf("chain %s: checkpointing step %d of %s: %w", method, i, taskID, err)
+		}
+		g.trackStep(taskID, i)
+		out, err := g.runStep(ctx, method, fn, data)
+		if err != nil {
+			return nil, fmt.Errorf("chain %s at tier %s: %w", method, fn, err)
+		}
+		data, err = g.cfg.Checkpoints.CommitStep(taskID, i, out)
+		if err != nil {
+			return nil, fmt.Errorf("chain %s: committing step %d of %s: %w", method, i, taskID, err)
+		}
+	}
+	if err := g.cfg.Checkpoints.Complete(taskID); err != nil {
+		return nil, fmt.Errorf("chain %s: completing task %s: %w", method, taskID, err)
+	}
+	return data, nil
+}
+
+// Recover enumerates orphaned checkpointed tasks and re-dispatches each
+// through its chain's respawn path, concurrently. It returns how many
+// orphans completed. A newly promoted controller primary calls this
+// (controller.ReplicaConfig.Recover) — the §4.7 takeover finishing work
+// the dead primary left behind.
+func (g *Gateway) Recover(ctx context.Context) (int, error) {
+	if g.cfg.Checkpoints == nil {
+		return 0, nil
+	}
+	orphans, err := g.cfg.Checkpoints.Orphans()
+	if err != nil {
+		return 0, err
+	}
+	var done int64
+	var wg sync.WaitGroup
+	for _, ck := range orphans {
+		g.mu.Lock()
+		functions, known := g.chains[ck.Method]
+		g.mu.Unlock()
+		if !known {
+			continue // chain not exposed on this gateway
+		}
+		ck := ck
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rctx, cancel := g.callCtx(ctx)
+			defer cancel()
+			g.count("gateway-orphan-redispatch")
+			if _, rerr := g.runDurable(rctx, ck.Method, ck.TaskID, functions, nil); rerr == nil {
+				atomic.AddInt64(&done, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	return int(atomic.LoadInt64(&done)), nil
+}
+
+func (g *Gateway) trackStart(id, method string) {
+	if g.cfg.Tracker != nil {
+		g.cfg.Tracker.TaskStarted(id, method)
+	}
+}
+
+func (g *Gateway) trackStep(id string, step int) {
+	if g.cfg.Tracker != nil {
+		g.cfg.Tracker.TaskStep(id, step)
+	}
+}
+
+func (g *Gateway) trackFinish(id string) {
+	if g.cfg.Tracker != nil {
+		g.cfg.Tracker.TaskFinished(id)
+	}
 }
 
 // runStep executes one chain tier, respawning it after failures or

@@ -67,11 +67,17 @@ type Config struct {
 	// the baselines lose the region's coverage.
 	FailDeviceID int
 	FailAtS      float64
+	// KillControllerAtS, if >= 0, crashes the active controller replica
+	// at that simulated second (§4.7): a hot standby takes over after the
+	// configured failover delay, and the run's Result.Failover reports
+	// the election/failover counters. Only meaningful under HiveMind.
+	KillControllerAtS float64
 }
 
 // DefaultConfig builds a mission config over a system preset.
 func DefaultConfig(kind Kind, sys platform.Options) Config {
-	c := Config{System: sys, MaxDurationS: 400, DetectProb: 0.75, FailDeviceID: -1}
+	c := Config{System: sys, MaxDurationS: 400, DetectProb: 0.75, FailDeviceID: -1,
+		KillControllerAtS: -1}
 	switch kind {
 	case ScenarioA:
 		c.Items = 15
@@ -104,6 +110,9 @@ type Result struct {
 	TaskLatency  *stats.Sample    // per-pipeline-instance latency
 	Breakdown    *stats.Breakdown // stage decomposition of pipeline latency
 	Repartitions int
+	// Failover snapshots the controller-replication counters (elections,
+	// takeovers, failover latency) when the mission ran a controller.
+	Failover *controller.FailoverStats
 }
 
 // String summarises the result.
@@ -192,12 +201,21 @@ func runSearch(kind Kind, cfg Config, dedup bool) Result {
 	repartitioned := false
 	var ctl *controller.Controller
 	if cfg.System.Kind == platform.HiveMind {
-		ctl = controller.New(eng, controller.DefaultConfig(), sys.Fleet, sys.Regions(),
+		ccfg := cfg.System.CtrlCfg
+		if ccfg.HeartbeatTimeoutS <= 0 { // hand-built Options without Preset
+			ccfg = controller.DefaultConfig()
+		}
+		ctl = controller.New(eng, ccfg, sys.Fleet, sys.Regions(),
 			func(failed int, gainers []int) {
 				res.Repartitions++
 				repartitioned = true
 			})
 		defer ctl.Stop()
+		if cfg.KillControllerAtS >= 0 {
+			// §4.7 controller-crash drill: the active replica dies
+			// mid-mission and a hot standby takes over.
+			eng.At(cfg.KillControllerAtS, func() { ctl.KillActiveReplica() })
+		}
 	}
 	if cfg.FailDeviceID >= 0 && cfg.FailDeviceID < len(sys.Fleet) {
 		id := cfg.FailDeviceID
@@ -366,6 +384,10 @@ func runSearch(kind Kind, cfg Config, dedup bool) Result {
 	bw := sys.Net.Wireless.Meter().RateSample(window)
 	res.BWMeanMBps = bw.Mean() / 1e6
 	res.BWp99MBps = bw.Percentile(99) / 1e6
+	if ctl != nil {
+		fo := ctl.Monitor().Failover()
+		res.Failover = &fo
+	}
 	return res
 }
 

@@ -1,0 +1,20 @@
+package sim
+
+import "time"
+
+// The simulator measures time in float64 seconds (Time); the live
+// substrate uses time.Duration. These converters are the single place
+// the two unit systems meet, so model knobs (e.g.
+// faas.Config.RespawnDelayS) and their live counterparts (e.g.
+// runtime.GatewayConfig.RespawnDelay) can be asserted equal instead of
+// drifting apart.
+
+// DurationOf converts simulated seconds to a wall-clock duration.
+func DurationOf(s Time) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// SecondsOf converts a wall-clock duration to simulated seconds.
+func SecondsOf(d time.Duration) Time {
+	return d.Seconds()
+}
