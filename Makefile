@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race chaos bench sweep examples fmt vet clean
+.PHONY: all build test race chaos bench bench-all sweep examples fmt vet clean
 
 all: build vet test
 
@@ -22,7 +22,17 @@ chaos:
 		-run 'Chaos|Injector|Breaker|Respawn|FailAll|Reliable|Heartbeat|Failover|Replica|Checkpoint|Durable|Straggler|Orphan' \
 		./internal/chaos/ ./internal/rpc/ ./internal/runtime/ ./internal/store/ ./internal/controller/
 
+# RPC data-plane benchmarks, recorded as JSON under BENCH_LABEL
+# (default "post"). Existing labels in BENCH_rpc.json are preserved, so
+# the committed "pre" baseline survives re-runs.
+BENCH_LABEL ?= post
 bench:
+	$(GO) test -run '^$$' -bench . -benchmem -count=1 ./internal/rpc/ > bench_rpc.out
+	$(GO) run ./cmd/hivemind-benchjson -in bench_rpc.out -out BENCH_rpc.json -label $(BENCH_LABEL)
+	rm -f bench_rpc.out
+
+# Every benchmark in the repo, human-readable.
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Full paper-scale evaluation (writes the EXPERIMENTS.md data).

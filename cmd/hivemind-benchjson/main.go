@@ -1,0 +1,165 @@
+// Command hivemind-benchjson converts `go test -bench -benchmem` output
+// into a JSON document keyed by label, so before/after baselines can be
+// committed side by side (BENCH_rpc.json) and diffed by CI.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./internal/rpc/ > bench.out
+//	hivemind-benchjson -in bench.out -out BENCH_rpc.json -label post
+//
+// When -out already exists, the new label is merged into it: recording
+// a "post" run preserves the committed "pre" baseline.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Run is one labelled benchmark sweep plus the environment it ran in.
+type Run struct {
+	GOOS    string   `json:"goos,omitempty"`
+	GOARCH  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkCallSync64B-4  350659  3486 ns/op  18.36 MB/s  168 B/op  4 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) MB/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func parse(r io.Reader) (Run, error) {
+	var run Run
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			run.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			run.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			run.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		res := Result{Name: m[1]}
+		res.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		res.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			res.MBPerSec, _ = strconv.ParseFloat(m[4], 64)
+		}
+		if m[5] != "" {
+			res.BytesPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		if m[6] != "" {
+			res.AllocsPerOp, _ = strconv.ParseInt(m[6], 10, 64)
+		}
+		run.Results = append(run.Results, res)
+	}
+	return run, sc.Err()
+}
+
+func main() {
+	in := flag.String("in", "", "benchmark output to parse (default stdin)")
+	out := flag.String("out", "", "JSON file to write (default stdout); existing labels are preserved")
+	label := flag.String("label", "post", "label for this run (e.g. pre, post)")
+	flag.Parse()
+
+	src := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	run, err := parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	if len(run.Results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	doc := map[string]Run{}
+	if *out != "" {
+		if prev, err := os.ReadFile(*out); err == nil {
+			if err := json.Unmarshal(prev, &doc); err != nil {
+				fatal(fmt.Errorf("existing %s is not a benchjson document: %w", *out, err))
+			}
+		}
+	}
+	doc[*label] = run
+
+	buf, err := marshalSorted(doc)
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d results under label %q to %s\n", len(run.Results), *label, *out)
+}
+
+// marshalSorted renders the document with stable key order so committed
+// baselines produce minimal diffs.
+func marshalSorted(doc map[string]Run) ([]byte, error) {
+	labels := make([]string, 0, len(doc))
+	for l := range doc {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, l := range labels {
+		run := doc[l]
+		sort.Slice(run.Results, func(a, z int) bool { return run.Results[a].Name < run.Results[z].Name })
+		body, err := json.MarshalIndent(run, "  ", "  ")
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&b, "  %q: %s", l, body)
+		if i < len(labels)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("}\n")
+	return []byte(b.String()), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hivemind-benchjson:", err)
+	os.Exit(1)
+}

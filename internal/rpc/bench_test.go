@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"net"
 	"sync"
 	"testing"
 )
@@ -13,6 +14,40 @@ func benchPair(b *testing.B, callers int) *Client {
 	srv.ServeConn(sc)
 	c := NewClient(cc, callers)
 	b.Cleanup(func() { c.Close(); srv.Close() })
+	return c
+}
+
+// benchTCP is benchPair over a real TCP loopback socket, so the
+// benchmarks also measure actual syscall and kernel-buffer behaviour
+// (net.Pipe is a synchronous in-process rendezvous with no buffering).
+func benchTCP(b *testing.B, callers int) *Client {
+	b.Helper()
+	srv := NewServer()
+	srv.Register("echo", func(p []byte) ([]byte, error) { return p, nil })
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		srv.ServeConn(conn)
+	}()
+	cc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := NewClient(cc, callers)
+	b.Cleanup(func() {
+		c.Close()
+		srv.Close()
+		ln.Close()
+		<-done
+	})
 	return c
 }
 
@@ -48,6 +83,40 @@ func BenchmarkCallSync1MB(b *testing.B) {
 // through the caller pool.
 func BenchmarkPipelinedCalls(b *testing.B) {
 	c := benchPair(b, 64)
+	payload := make([]byte, 64)
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wg.Add(1)
+		call := c.Go("echo", payload, make(chan *Call, 1))
+		go func() {
+			defer wg.Done()
+			<-call.Done
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkCallSync64BTCP is BenchmarkCallSync64B over TCP loopback:
+// every frame crosses the kernel, so write coalescing and buffered
+// reads show up as fewer syscalls per call.
+func BenchmarkCallSync64BTCP(b *testing.B) {
+	c := benchTCP(b, 8)
+	payload := make([]byte, 64)
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.CallSync("echo", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelinedCallsTCP measures multiplexed throughput over TCP
+// loopback, where the coalescing writer batches the pipelined frames
+// into far fewer syscalls than one-write-per-frame.
+func BenchmarkPipelinedCallsTCP(b *testing.B) {
+	c := benchTCP(b, 64)
 	payload := make([]byte, 64)
 	var wg sync.WaitGroup
 	b.ResetTimer()

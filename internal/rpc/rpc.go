@@ -14,17 +14,29 @@
 // their own encoding. Transports are anything that yields a net.Conn:
 // TCP between machines, net.Pipe in-process.
 //
+// The data plane is built for throughput, the software stand-in for the
+// paper's FPGA RPC offload (§5.3): frame buffers come from a sync.Pool
+// and header+method+payload are gathered into a single write; each
+// connection owns a buffered, coalescing writer (writer.go) whose
+// flusher goroutine batches the frames queued behind an in-flight write
+// into one syscall; and each server connection runs handlers on a
+// bounded worker pool (worker.go) instead of a goroutine per request,
+// sized like the client's caller pool.
+//
 // Beyond request/response the protocol carries three control frames
 // that make the live substrate survivable under the failure modes the
 // paper studies (§3.2, §4.6): cancel frames propagate client-side
 // context cancellation into running server handlers, and ping/pong
-// frames give clients a connection-health heartbeat. On top of the
+// frames give clients a connection-health heartbeat. Both are serviced
+// out-of-band of the worker pool, directly from the read loop, so
+// heartbeats never queue behind slow handlers. On top of the
 // single-connection Client, ReliableClient (reliable.go) layers
 // deadlines, retries with backoff (retry.go), automatic reconnect, and
 // circuit breaking (breaker.go).
 package rpc
 
 import (
+	"bufio"
 	"context"
 	"encoding/binary"
 	"errors"
@@ -78,6 +90,7 @@ type Handler func(payload []byte) ([]byte, error)
 // propagation).
 type HandlerCtx func(ctx context.Context, payload []byte) ([]byte, error)
 
+// frame describes one outgoing frame (write side).
 type frame struct {
 	kind    byte
 	callID  uint64
@@ -85,71 +98,86 @@ type frame struct {
 	payload []byte
 }
 
-func writeFrame(w io.Writer, f frame) error {
-	if len(f.method) > 0xFFFF {
-		return errors.New("rpc: method name too long")
-	}
-	n := 1 + 8 + 2 + len(f.method) + len(f.payload)
-	if n > maxFrame {
-		return fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
-	}
-	buf := make([]byte, 4+n)
-	binary.BigEndian.PutUint32(buf[0:4], uint32(n))
-	buf[4] = f.kind
-	binary.BigEndian.PutUint64(buf[5:13], f.callID)
-	binary.BigEndian.PutUint16(buf[13:15], uint16(len(f.method)))
-	copy(buf[15:], f.method)
-	copy(buf[15+len(f.method):], f.payload)
-	_, err := w.Write(buf)
-	return err
+// rframe is one decoded incoming frame. method and payload alias the
+// frame's body buffer: method is only valid until the receiver moves
+// on, payload escapes as the handler argument / call reply.
+type rframe struct {
+	kind    byte
+	callID  uint64
+	method  []byte
+	payload []byte
 }
 
-func readFrame(r io.Reader) (frame, error) {
+func readFrame(r io.Reader) (rframe, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return frame{}, err
+		return rframe{}, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n < 11 || n > maxFrame {
-		return frame{}, fmt.Errorf("rpc: invalid frame length %d", n)
+		return rframe{}, fmt.Errorf("rpc: invalid frame length %d", n)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
-		return frame{}, err
+		return rframe{}, err
 	}
-	f := frame{kind: body[0], callID: binary.BigEndian.Uint64(body[1:9])}
+	f := rframe{kind: body[0], callID: binary.BigEndian.Uint64(body[1:9])}
 	mlen := int(binary.BigEndian.Uint16(body[9:11]))
 	if 11+mlen > int(n) {
-		return frame{}, errors.New("rpc: method length exceeds frame")
+		return rframe{}, errors.New("rpc: method length exceeds frame")
 	}
-	f.method = string(body[11 : 11+mlen])
+	f.method = body[11 : 11+mlen]
 	f.payload = body[11+mlen:]
 	return f, nil
+}
+
+// handlerEntry is a registered procedure. plain marks handlers that
+// ignore their context (registered via Register): the server skips
+// per-request cancellation tracking for them — a cancel would have no
+// observable effect anyway — saving a context allocation and two map
+// operations per request on the hot path.
+type handlerEntry struct {
+	fn    HandlerCtx
+	plain bool
 }
 
 // Server dispatches registered procedures over accepted connections.
 type Server struct {
 	mu       sync.RWMutex
-	handlers map[string]HandlerCtx
+	handlers map[string]handlerEntry
 
 	lnMu      sync.Mutex
 	listeners []net.Listener
 	conns     map[net.Conn]struct{}
 	closed    bool
+	workers   int
 	wg        sync.WaitGroup
 }
 
 // NewServer returns an empty server.
 func NewServer() *Server {
-	return &Server{handlers: make(map[string]HandlerCtx), conns: make(map[net.Conn]struct{})}
+	return &Server{handlers: make(map[string]handlerEntry), conns: make(map[net.Conn]struct{})}
+}
+
+// SetWorkers bounds the per-connection handler worker pool for
+// connections served after the call (<=0 restores the default of 64,
+// matching the client caller pool). Ping and cancel frames are handled
+// outside the pool regardless of its size.
+func (s *Server) SetWorkers(n int) {
+	s.lnMu.Lock()
+	defer s.lnMu.Unlock()
+	s.workers = n
 }
 
 // Register binds a handler to a method name. Re-registering replaces the
 // handler.
 func (s *Server) Register(method string, h Handler) {
-	s.RegisterCtx(method, func(_ context.Context, payload []byte) ([]byte, error) {
-		return h(payload)
-	})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = handlerEntry{
+		fn:    func(_ context.Context, payload []byte) ([]byte, error) { return h(payload) },
+		plain: true,
+	}
 }
 
 // RegisterCtx binds a context-aware handler: its ctx is cancelled when
@@ -157,7 +185,7 @@ func (s *Server) Register(method string, h Handler) {
 func (s *Server) RegisterCtx(method string, h HandlerCtx) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.handlers[method] = h
+	s.handlers[method] = handlerEntry{fn: h}
 }
 
 // Methods returns the registered method names (unordered).
@@ -207,73 +235,62 @@ func (s *Server) ServeConn(conn net.Conn) {
 		return
 	}
 	s.conns[conn] = struct{}{}
+	workers := s.workers
 	s.wg.Add(1)
 	s.lnMu.Unlock()
 	go func() {
 		defer s.wg.Done()
-		// base is cancelled on connection teardown so every in-flight
-		// handler on this conn observes the disconnect.
-		base, cancelAll := context.WithCancel(context.Background())
-		defer cancelAll()
+		w := newConnWriter(conn)
+		d := newDispatcher(w, workers)
 		defer func() {
 			s.lnMu.Lock()
 			delete(s.conns, conn)
 			s.lnMu.Unlock()
+			// Cancel every in-flight handler on this conn so it
+			// observes the disconnect, then stop the pool.
+			d.abortAll()
+			d.close()
+			w.close()
 			conn.Close()
 		}()
-		var writeMu sync.Mutex
-		var inflightMu sync.Mutex
-		inflight := make(map[uint64]context.CancelFunc)
+		br := bufio.NewReaderSize(conn, readBufSize)
 		for {
-			f, err := readFrame(conn)
+			f, err := readFrame(br)
 			if err != nil {
 				return
 			}
 			switch f.kind {
 			case kindPing:
-				go func(f frame) {
-					writeMu.Lock()
-					defer writeMu.Unlock()
-					writeFrame(conn, frame{kind: kindPong, callID: f.callID, payload: f.payload})
-				}(f)
+				// Answered directly from the read loop, out-of-band of
+				// the worker pool. The async enqueue never blocks this
+				// goroutine on a syscall, so a saturated pool or a stuck
+				// peer cannot stall heartbeat service.
+				if buf, encErr := encodeFrame(kindPong, f.callID, "", f.payload); encErr == nil {
+					w.enqueue(buf, false)
+				}
 				continue
 			case kindCancel:
-				inflightMu.Lock()
-				if cancel, ok := inflight[f.callID]; ok {
-					cancel()
-				}
-				inflightMu.Unlock()
+				d.cancelCall(f.callID)
 				continue
 			case kindRequest:
 			default:
 				continue
 			}
 			s.mu.RLock()
-			h, ok := s.handlers[f.method]
+			h, ok := s.handlers[string(f.method)] // alloc-free []byte map key
 			s.mu.RUnlock()
-			ctx, cancel := context.WithCancel(base)
-			inflightMu.Lock()
-			inflight[f.callID] = cancel
-			inflightMu.Unlock()
-			go func(f frame) {
-				defer func() {
-					inflightMu.Lock()
-					delete(inflight, f.callID)
-					inflightMu.Unlock()
-					cancel()
-				}()
-				var resp frame
-				if !ok {
-					resp = frame{kind: kindError, callID: f.callID, payload: []byte(ErrMethodNotFound.Error())}
-				} else if out, err := h(ctx, f.payload); err != nil {
-					resp = frame{kind: kindError, callID: f.callID, payload: []byte(err.Error())}
-				} else {
-					resp = frame{kind: kindResponse, callID: f.callID, payload: out}
-				}
-				writeMu.Lock()
-				defer writeMu.Unlock()
-				writeFrame(conn, resp) // best effort: conn teardown surfaces via read loop
-			}(f)
+			t := task{h: h.fn, callID: f.callID, payload: f.payload}
+			if !ok {
+				t.h = nil
+			}
+			if ok && !h.plain {
+				// Context-aware handler: track it so cancel frames and
+				// teardown reach it. Plain handlers ignore their ctx, so
+				// the tracking (and its allocations) is skipped.
+				t.ctx = &reqCtx{}
+				d.register(f.callID, t.ctx)
+			}
+			d.submit(t)
 		}
 	}()
 }
@@ -304,8 +321,34 @@ type Call struct {
 	Err     error
 	Done    chan *Call
 	replyTo uint64
-	once    sync.Once
-	release func() // returns the caller-pool slot; nil if none held
+	fin     atomic.Bool   // completion claimed; winner sets Err/Reply
+	sem     chan struct{} // caller-pool slot to return; nil if none held
+}
+
+// donePool recycles the internal completion channels of the blocking
+// call paths (Call/CallSync/Ping); each delivers exactly once, so a
+// received-from channel is empty and safe to reuse.
+var donePool = sync.Pool{New: func() any { return make(chan *Call, 1) }}
+
+func getDone() chan *Call   { return donePool.Get().(chan *Call) }
+func putDone(ch chan *Call) { donePool.Put(ch) }
+
+// callPool recycles the Call records of the blocking call paths. A
+// call delivered on Done has exactly one finisher, so once the caller
+// has received it no other goroutine holds a reference. Calls returned
+// by Go escape to the user and are never pooled.
+var callPool = sync.Pool{New: func() any { return new(Call) }}
+
+func getCall(method string, done chan *Call) *Call {
+	call := callPool.Get().(*Call)
+	call.Method = method
+	call.Done = done
+	return call
+}
+
+func putCall(call *Call) {
+	*call = Call{}
+	callPool.Put(call)
 }
 
 // Client issues calls over one connection, multiplexing concurrent
@@ -313,9 +356,9 @@ type Call struct {
 // calls, mirroring the paper's caller-thread pool: the slot is held
 // from send until the reply (or failure) arrives.
 type Client struct {
-	conn    net.Conn
-	writeMu sync.Mutex
-	nextID  atomic.Uint64
+	conn   net.Conn
+	w      *connWriter
+	nextID atomic.Uint64
 
 	mu      sync.Mutex
 	pending map[uint64]*Call
@@ -331,7 +374,12 @@ func NewClient(conn net.Conn, callers int) *Client {
 	if callers <= 0 {
 		callers = 64
 	}
-	c := &Client{conn: conn, pending: make(map[uint64]*Call), sem: make(chan struct{}, callers)}
+	c := &Client{
+		conn:    conn,
+		w:       newConnWriter(conn),
+		pending: make(map[uint64]*Call),
+		sem:     make(chan struct{}, callers),
+	}
 	go c.readLoop()
 	return c
 }
@@ -346,8 +394,9 @@ func Dial(addr string, callers int) (*Client, error) {
 }
 
 func (c *Client) readLoop() {
+	br := bufio.NewReaderSize(c.conn, readBufSize)
 	for {
-		f, err := readFrame(c.conn)
+		f, err := readFrame(br)
 		if err != nil {
 			c.failAll(err)
 			return
@@ -359,6 +408,8 @@ func (c *Client) readLoop() {
 		if call == nil {
 			continue
 		}
+		// The read loop is the call's exclusive finisher once it has
+		// removed it from pending, so these field writes cannot race.
 		switch f.kind {
 		case kindResponse, kindPong:
 			call.Reply = f.payload
@@ -382,6 +433,9 @@ func closeError(cause error) error {
 }
 
 func (c *Client) failAll(err error) {
+	if c.w != nil { // nil in white-box tests that never dial
+		c.w.close()
+	}
 	c.mu.Lock()
 	c.closed = true
 	if c.readErr == nil {
@@ -392,24 +446,39 @@ func (c *Client) failAll(err error) {
 	c.pending = make(map[uint64]*Call)
 	c.mu.Unlock()
 	for _, call := range pend {
-		call.Err = cause
-		call.finish()
+		call.fail(cause)
 	}
 }
 
-// finish completes a call exactly once: the caller-pool slot is
-// returned and the call is delivered on Done.
+// deliver returns the caller-pool slot and hands the call to Done. Only
+// reached through once.Do.
+func (call *Call) deliver() {
+	if call.sem != nil {
+		<-call.sem
+	}
+	select {
+	case call.Done <- call:
+	default:
+		// Done channel must be buffered; drop rather than block.
+	}
+}
+
+// finish completes a call whose Reply/Err its exclusive finisher
+// already set; exactly one deliver runs.
 func (call *Call) finish() {
-	call.once.Do(func() {
-		if call.release != nil {
-			call.release()
-		}
-		select {
-		case call.Done <- call:
-		default:
-			// Done channel must be buffered; drop rather than block.
-		}
-	})
+	if call.fin.CompareAndSwap(false, true) {
+		call.deliver()
+	}
+}
+
+// fail completes a call with err unless it already completed. Err is
+// only written by the claim winner, so concurrent finishers cannot
+// race on the field.
+func (call *Call) fail(err error) {
+	if call.fin.CompareAndSwap(false, true) {
+		call.Err = err
+		call.deliver()
+	}
 }
 
 // Healthy reports whether the connection has not failed.
@@ -419,30 +488,31 @@ func (c *Client) Healthy() bool {
 	return !c.closed
 }
 
-// start registers and sends one frame. useSem reserves a caller-pool
+// start registers and sends one frame for call, which must carry its
+// Method and a buffered Done channel. useSem reserves a caller-pool
 // slot (held until the call finishes); pings bypass the pool so
 // heartbeats get through even when the pool is saturated.
-func (c *Client) start(ctx context.Context, kind byte, method string, payload []byte, done chan *Call, useSem bool) *Call {
-	if done == nil {
-		done = make(chan *Call, 1)
-	}
-	call := &Call{Method: method, Done: done}
+func (c *Client) start(ctx context.Context, kind byte, call *Call, payload []byte, useSem bool) *Call {
 	if useSem {
-		select {
-		case c.sem <- struct{}{}:
-			call.release = func() { <-c.sem }
-		case <-ctx.Done():
-			call.Err = ctx.Err()
-			call.finish()
-			return call
+		if ctx.Done() == nil {
+			// Background context: plain send, no select machinery.
+			c.sem <- struct{}{}
+			call.sem = c.sem
+		} else {
+			select {
+			case c.sem <- struct{}{}:
+				call.sem = c.sem
+			case <-ctx.Done():
+				call.fail(ctx.Err())
+				return call
+			}
 		}
 	}
 	c.mu.Lock()
 	if c.closed {
 		err := closeError(c.readErr)
 		c.mu.Unlock()
-		call.Err = err
-		call.finish()
+		call.fail(err)
 		return call
 	}
 	id := c.nextID.Add(1)
@@ -450,82 +520,112 @@ func (c *Client) start(ctx context.Context, kind byte, method string, payload []
 	c.pending[id] = call
 	c.mu.Unlock()
 
-	c.writeMu.Lock()
-	err := writeFrame(c.conn, frame{kind: kind, callID: id, method: method, payload: payload})
-	c.writeMu.Unlock()
+	buf, err := encodeFrame(kind, id, call.Method, payload)
+	if err == nil {
+		// Inline enqueue: an idle writer flushes on this goroutine and
+		// reports the write error synchronously; under load the frame
+		// coalesces into the flusher's next batch and any failure
+		// surfaces through connection teardown.
+		err = c.w.enqueue(buf, true)
+	}
 	if err != nil {
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
-		call.Err = err
-		call.finish()
+		call.fail(err)
 	}
 	return call
 }
 
 // Go starts an asynchronous call. done may be nil, in which case a
-// buffered channel is allocated. The returned Call is delivered on its
-// Done channel when complete. Go blocks while the caller pool is full.
+// buffered channel is allocated; a caller-supplied done must have
+// capacity >= 1 or Go panics, because completions are delivered with a
+// non-blocking send and an unbuffered channel would silently drop
+// every one of them. The returned Call is delivered on its Done
+// channel when complete. Go blocks while the caller pool is full. The
+// payload must not be mutated until the call completes: under load the
+// write is asynchronous.
 func (c *Client) Go(method string, payload []byte, done chan *Call) *Call {
-	return c.start(context.Background(), kindRequest, method, payload, done, true)
+	if done == nil {
+		done = make(chan *Call, 1)
+	} else if cap(done) == 0 {
+		panic("rpc: done channel is unbuffered")
+	}
+	return c.start(context.Background(), kindRequest, &Call{Method: method, Done: done}, payload, true)
 }
 
 // abort removes a call whose context fired before the reply and tells
-// the server to cancel the handler (best effort).
+// the server to cancel the handler (best effort). If the reply (or a
+// connection teardown) already claimed the call, abort leaves its
+// result alone — the imminent deliver supplies it.
 func (c *Client) abort(call *Call, err error) {
 	c.mu.Lock()
 	_, pendingStill := c.pending[call.replyTo]
 	delete(c.pending, call.replyTo)
 	closed := c.closed
 	c.mu.Unlock()
-	if pendingStill && !closed {
-		c.writeMu.Lock()
-		writeFrame(c.conn, frame{kind: kindCancel, callID: call.replyTo})
-		c.writeMu.Unlock()
+	if !pendingStill {
+		return
 	}
-	call.Err = err
-	call.finish()
+	if !closed {
+		if buf, encErr := encodeFrame(kindCancel, call.replyTo, "", nil); encErr == nil {
+			c.w.enqueue(buf, true)
+		}
+	}
+	call.fail(err)
 }
 
 // Call performs a blocking call bounded by ctx: if the context fires
 // first the call returns ctx.Err(), the caller-pool slot is released,
 // and a cancel frame asks the server to stop the handler.
 func (c *Client) Call(ctx context.Context, method string, payload []byte) ([]byte, error) {
-	call := c.start(ctx, kindRequest, method, payload, nil, true)
+	done := getDone()
+	call := c.start(ctx, kindRequest, getCall(method, done), payload, true)
 	select {
-	case <-call.Done:
-		return call.Reply, call.Err
+	case <-done:
 	case <-ctx.Done():
 		c.abort(call, ctx.Err())
-		// If the reply raced the cancellation and won, return it.
-		got := <-call.Done
-		return got.Reply, got.Err
+		// If the reply raced the cancellation and won, this returns it.
+		<-done
 	}
+	reply, err := call.Reply, call.Err
+	putDone(done)
+	putCall(call)
+	return reply, err
 }
 
 // CallSync performs a blocking call with no deadline.
 func (c *Client) CallSync(method string, payload []byte) ([]byte, error) {
-	call := <-c.Go(method, payload, nil).Done
-	return call.Reply, call.Err
+	done := getDone()
+	call := c.start(context.Background(), kindRequest, getCall(method, done), payload, true)
+	<-done
+	reply, err := call.Reply, call.Err
+	putDone(done)
+	putCall(call)
+	return reply, err
 }
 
 // Ping round-trips a heartbeat frame, bypassing the caller pool.
 // A healthy connection answers even while saturated with slow calls.
 func (c *Client) Ping(ctx context.Context) error {
-	call := c.start(ctx, kindPing, "", nil, nil, false)
+	done := getDone()
+	call := c.start(ctx, kindPing, getCall("", done), nil, false)
 	select {
-	case <-call.Done:
-		return call.Err
+	case <-done:
 	case <-ctx.Done():
 		c.abort(call, ctx.Err())
-		<-call.Done
-		return call.Err
+		<-done
 	}
+	err := call.Err
+	putDone(done)
+	putCall(call)
+	return err
 }
 
 // Close tears down the connection; outstanding calls fail with
 // ErrClosed.
 func (c *Client) Close() error {
+	c.w.close()
 	err := c.conn.Close()
 	c.failAll(ErrClosed)
 	return err

@@ -40,7 +40,7 @@ func TestFrameRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.kind != in.kind || out.callID != in.callID || out.method != in.method || string(out.payload) != "payload" {
+	if out.kind != in.kind || out.callID != in.callID || string(out.method) != in.method || string(out.payload) != "payload" {
 		t.Fatalf("round trip mismatch: %+v", out)
 	}
 }
@@ -67,7 +67,7 @@ func TestFrameEmptyPayload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if f.callID != 7 || len(f.payload) != 0 || f.method != "" {
+	if f.callID != 7 || len(f.payload) != 0 || len(f.method) != 0 {
 		t.Fatalf("frame = %+v", f)
 	}
 }

@@ -1,0 +1,215 @@
+package rpc
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// defaultWorkers sizes the per-connection server worker pool, matching
+// the default client caller pool: the two ends of a connection can
+// keep the same number of requests in flight.
+const defaultWorkers = 64
+
+// reqCtx is a minimal cancellable context, one allocation per request.
+// context.WithCancel would cost a child registration in a shared
+// parent on every request — measurable at data-plane rates — so the
+// dispatcher tracks live requests itself and cancels them directly on
+// cancel frames and connection teardown. The done channel is lazy:
+// most handlers never select on it.
+type reqCtx struct {
+	mu   sync.Mutex
+	done chan struct{}
+	err  error
+}
+
+var _ context.Context = (*reqCtx)(nil)
+
+func (c *reqCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+
+func (c *reqCtx) Done() <-chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done == nil {
+		c.done = make(chan struct{})
+		if c.err != nil {
+			close(c.done)
+		}
+	}
+	return c.done
+}
+
+func (c *reqCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+func (c *reqCtx) Value(any) any { return nil }
+
+// cancel fires the context once; later calls are no-ops.
+func (c *reqCtx) cancel(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+		if c.done != nil {
+			close(c.done)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// task is one request handed from a connection's read loop to its
+// worker pool. ctx is nil for plain handlers (registered via Register):
+// they ignore their context, so no cancellation tracking is kept for
+// them and run substitutes context.Background.
+type task struct {
+	h       HandlerCtx // nil: method not found
+	ctx     *reqCtx
+	callID  uint64
+	payload []byte
+}
+
+// dispatcher runs a connection's request handlers on a bounded pool of
+// workers, replacing goroutine-per-request: under load at most max
+// handlers run concurrently and up to max more requests queue in the
+// channel, which backpressures the read loop instead of spawning
+// without bound. Workers are spawned lazily, so an idle connection
+// costs one goroutine (the read loop), not max+1.
+//
+// Ping and cancel frames are never routed through the pool — the read
+// loop services them directly — so heartbeats and cancellation stay
+// responsive while every worker is stuck in a slow handler.
+type dispatcher struct {
+	w    *connWriter
+	work chan task
+	max  int
+
+	mu      sync.Mutex
+	spawned int
+	idle    int
+
+	// inflight maps live call ids to their request contexts so
+	// kindCancel frames and connection teardown can fire them.
+	inflightMu sync.Mutex
+	inflight   map[uint64]*reqCtx
+}
+
+func newDispatcher(w *connWriter, workers int) *dispatcher {
+	if workers <= 0 {
+		workers = defaultWorkers
+	}
+	return &dispatcher{
+		w:        w,
+		work:     make(chan task, workers),
+		max:      workers,
+		inflight: make(map[uint64]*reqCtx),
+	}
+}
+
+// register records a live call so cancel frames can reach it. It must
+// run before the task is submitted.
+func (d *dispatcher) register(callID uint64, rc *reqCtx) {
+	d.inflightMu.Lock()
+	d.inflight[callID] = rc
+	d.inflightMu.Unlock()
+}
+
+// cancelCall fires the context of a live call, if any.
+func (d *dispatcher) cancelCall(callID uint64) {
+	d.inflightMu.Lock()
+	rc := d.inflight[callID]
+	d.inflightMu.Unlock()
+	if rc != nil {
+		rc.cancel(context.Canceled)
+	}
+}
+
+// unregister removes a finished call.
+func (d *dispatcher) unregister(callID uint64) {
+	d.inflightMu.Lock()
+	delete(d.inflight, callID)
+	d.inflightMu.Unlock()
+}
+
+// abortAll cancels every in-flight request context: connection
+// teardown, so handlers observe the disconnect.
+func (d *dispatcher) abortAll() {
+	d.inflightMu.Lock()
+	for _, rc := range d.inflight {
+		rc.cancel(context.Canceled)
+	}
+	d.inflightMu.Unlock()
+}
+
+// submit hands one request to the pool. A new worker is spawned only
+// when none is idle and the pool is below its bound; otherwise the
+// task queues, blocking the read loop once max tasks are already
+// waiting (backpressure replaces unbounded goroutine spawn).
+func (d *dispatcher) submit(t task) {
+	d.mu.Lock()
+	if d.idle == 0 && d.spawned < d.max {
+		d.spawned++
+		d.mu.Unlock()
+		go d.worker(t)
+		return
+	}
+	d.mu.Unlock()
+	d.work <- t
+}
+
+// close stops the pool: workers drain queued tasks (their contexts are
+// already cancelled by connection teardown) and exit. Only the read
+// loop submits, and only after it has returned is close called, so no
+// send can race the close.
+func (d *dispatcher) close() {
+	close(d.work)
+}
+
+func (d *dispatcher) worker(t task) {
+	for {
+		d.run(t)
+		d.mu.Lock()
+		d.idle++
+		d.mu.Unlock()
+		var ok bool
+		t, ok = <-d.work
+		d.mu.Lock()
+		d.idle--
+		d.mu.Unlock()
+		if !ok {
+			return
+		}
+	}
+}
+
+// run executes one handler and queues its response frame. Write
+// failures surface through connection teardown, exactly like the
+// pre-pool direct-write path.
+func (d *dispatcher) run(t task) {
+	var ctx context.Context = context.Background()
+	if t.ctx != nil {
+		ctx = t.ctx
+		defer d.unregister(t.callID)
+	}
+	kind := byte(kindResponse)
+	var out []byte
+	if t.h == nil {
+		kind = kindError
+		out = []byte(ErrMethodNotFound.Error())
+	} else if res, err := t.h(ctx, t.payload); err != nil {
+		kind = kindError
+		out = []byte(err.Error())
+	} else {
+		out = res
+	}
+	buf, err := encodeFrame(kind, t.callID, "", out)
+	if err != nil {
+		// Response too large to frame: tell the caller instead of
+		// leaving the call pending forever.
+		if buf, err = encodeFrame(kindError, t.callID, "", []byte(err.Error())); err != nil {
+			return
+		}
+	}
+	d.w.enqueue(buf, true) // best effort: teardown surfaces via read loops
+}

@@ -1,0 +1,298 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// The data plane below is the software stand-in for the paper's FPGA
+// RPC offload (§5.3): where the hardware gathers frames in BRAM and
+// DMAs them to the NIC in bursts, we pool frame buffers, gather
+// header+method+payload into one contiguous write, and coalesce the
+// frames queued behind an in-flight write syscall into a single
+// follow-up syscall.
+
+// frameHdrLen is the fixed frame prefix: uint32 length, uint8 kind,
+// uint64 callID, uint16 methodLen.
+const frameHdrLen = 4 + 1 + 8 + 2
+
+// readBufSize sizes the per-connection bufio.Reader: one kernel read
+// pulls many small frames out of the socket at once.
+const readBufSize = 64 << 10
+
+// maxPooledBuf caps the capacity of buffers returned to the frame
+// pool; anything larger (bulk sensor batches) is left to the GC so a
+// burst of 64 MiB frames cannot pin memory forever.
+const maxPooledBuf = (1 << 20) + frameHdrLen
+
+// coalesceLimit caps how many bytes a batch write accumulates before
+// issuing the syscall; frames larger than this are written directly
+// instead of being memcpy'd into the batch buffer.
+const coalesceLimit = 64 << 10
+
+// bufPool recycles frame encode buffers and batch buffers. Stored as
+// *[]byte so Put does not allocate a fresh interface box per call.
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b }}
+
+func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+func putBuf(b *[]byte) {
+	if b == nil || cap(*b) > maxPooledBuf {
+		return
+	}
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
+
+// appendFrame appends one encoded frame to dst and returns the
+// extended slice. The caller owns dst; nothing is retained.
+func appendFrame(dst []byte, kind byte, callID uint64, method string, payload []byte) ([]byte, error) {
+	if len(method) > 0xFFFF {
+		return dst, errors.New("rpc: method name too long")
+	}
+	n := 1 + 8 + 2 + len(method) + len(payload)
+	if n > maxFrame {
+		return dst, fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
+	}
+	var hdr [frameHdrLen]byte
+	hdr[0] = byte(n >> 24)
+	hdr[1] = byte(n >> 16)
+	hdr[2] = byte(n >> 8)
+	hdr[3] = byte(n)
+	hdr[4] = kind
+	hdr[5] = byte(callID >> 56)
+	hdr[6] = byte(callID >> 48)
+	hdr[7] = byte(callID >> 40)
+	hdr[8] = byte(callID >> 32)
+	hdr[9] = byte(callID >> 24)
+	hdr[10] = byte(callID >> 16)
+	hdr[11] = byte(callID >> 8)
+	hdr[12] = byte(callID)
+	hdr[13] = byte(len(method) >> 8)
+	hdr[14] = byte(len(method))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, method...)
+	dst = append(dst, payload...)
+	return dst, nil
+}
+
+// encodeFrame encodes one frame into a pooled buffer.
+func encodeFrame(kind byte, callID uint64, method string, payload []byte) (*[]byte, error) {
+	buf := getBuf()
+	b, err := appendFrame((*buf)[:0], kind, callID, method, payload)
+	if err != nil {
+		putBuf(buf)
+		return nil, err
+	}
+	*buf = b
+	return buf, nil
+}
+
+// writeFrame encodes and writes one frame as a single Write. It is the
+// unbatched slow path, kept for tests and one-shot writers.
+func writeFrame(w io.Writer, f frame) error {
+	buf, err := encodeFrame(f.kind, f.callID, f.method, f.payload)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(*buf)
+	putBuf(buf)
+	return err
+}
+
+// connWriter is the per-connection buffered, coalescing write half of
+// the data plane. Complete encoded frames are queued under a mutex;
+// whoever finds the writer idle flushes the first batch inline (an
+// idle enqueue hits the wire with no handoff latency), and frames that
+// arrive while a write syscall is in flight are handed to the
+// dedicated flusher goroutine, which gathers everything queued into
+// one syscall per round. Frames are only ever written whole and in
+// enqueue order, so a batch can never interleave partial frames or
+// reorder a response after a teardown.
+type connWriter struct {
+	conn net.Conn
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signals the flusher on handoff or close
+	queue   []*[]byte  // complete encoded frames, FIFO
+	free    []*[]byte  // recycled queue backing array (len 0)
+	active  bool       // some goroutine is draining the queue
+	handoff bool       // the flusher owns the next drain
+	err     error      // sticky first write error
+	closed  bool
+}
+
+func newConnWriter(conn net.Conn) *connWriter {
+	w := &connWriter{conn: conn}
+	w.cond = sync.NewCond(&w.mu)
+	go w.flusher()
+	return w
+}
+
+// enqueue queues one pooled encoded frame for writing and takes
+// ownership of buf. If inline is true and the writer is idle, the
+// calling goroutine performs the first flush itself and the returned
+// error reflects the write; otherwise errors surface asynchronously
+// through connection teardown. Callers whose goroutine must never
+// block on a syscall (the server read loop answering pings) pass
+// inline=false.
+func (w *connWriter) enqueue(buf *[]byte, inline bool) error {
+	w.mu.Lock()
+	if w.closed || w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		putBuf(buf)
+		if err == nil {
+			err = ErrClosed
+		}
+		return err
+	}
+	w.queue = append(w.queue, buf)
+	if w.active {
+		// A drain is in flight; it will pick this frame up.
+		w.mu.Unlock()
+		return nil
+	}
+	w.active = true
+	if !inline {
+		w.handoff = true
+		w.cond.Signal()
+		w.mu.Unlock()
+		return nil
+	}
+	w.mu.Unlock()
+	w.drain(1)
+	w.mu.Lock()
+	err := w.err
+	w.mu.Unlock()
+	return err
+}
+
+// flusher is the dedicated writer goroutine: it sleeps until a drain
+// is handed off (frames queued up behind an inline write, or an async
+// enqueue) and then batches the whole queue into as few syscalls as
+// possible. It exits on close.
+func (w *connWriter) flusher() {
+	w.mu.Lock()
+	for {
+		for !w.handoff && !w.closed {
+			w.cond.Wait()
+		}
+		if w.closed {
+			for _, b := range w.queue {
+				putBuf(b)
+			}
+			w.queue = nil
+			w.mu.Unlock()
+			return
+		}
+		w.handoff = false
+		w.mu.Unlock()
+		w.drain(0)
+		w.mu.Lock()
+	}
+}
+
+// drain writes queued batches until the queue empties or, when
+// rounds > 0, that many batches were written — the remainder is then
+// handed to the flusher so the inline caller returns after one
+// syscall. The caller must have claimed w.active.
+func (w *connWriter) drain(rounds int) {
+	var spent []*[]byte // batch array to recycle into w.free
+	for n := 0; ; n++ {
+		w.mu.Lock()
+		if spent != nil && w.free == nil && cap(spent) <= 1024 {
+			w.free = spent[:0]
+		}
+		if w.err != nil || w.closed || len(w.queue) == 0 {
+			w.active = false
+			w.mu.Unlock()
+			return
+		}
+		if rounds > 0 && n >= rounds {
+			w.handoff = true
+			w.cond.Signal()
+			w.mu.Unlock()
+			return
+		}
+		batch := w.queue
+		w.queue = w.free
+		w.free = nil
+		w.mu.Unlock()
+		err := w.writeBatch(batch)
+		for i := range batch {
+			batch[i] = nil
+		}
+		spent = batch
+		if err != nil {
+			w.mu.Lock()
+			if w.err == nil {
+				w.err = err
+			}
+			w.active = false
+			w.mu.Unlock()
+			// Tear the connection down so both read loops observe the
+			// failure instead of waiting on a half-dead peer.
+			w.conn.Close()
+			return
+		}
+	}
+}
+
+// writeBatch gathers the batch into as few Write calls as possible:
+// small frames are memcpy'd into one pooled buffer (one syscall for
+// the whole batch), frames above coalesceLimit are written directly.
+// All frame buffers are returned to the pool.
+func (w *connWriter) writeBatch(batch []*[]byte) error {
+	defer func() {
+		for _, b := range batch {
+			putBuf(b)
+		}
+	}()
+	if len(batch) == 1 {
+		_, err := w.conn.Write(*batch[0])
+		return err
+	}
+	acc := getBuf()
+	defer putBuf(acc)
+	for _, b := range batch {
+		if len(*b) > coalesceLimit {
+			if len(*acc) > 0 {
+				if _, err := w.conn.Write(*acc); err != nil {
+					return err
+				}
+				*acc = (*acc)[:0]
+			}
+			if _, err := w.conn.Write(*b); err != nil {
+				return err
+			}
+			continue
+		}
+		if len(*acc)+len(*b) > coalesceLimit && len(*acc) > 0 {
+			if _, err := w.conn.Write(*acc); err != nil {
+				return err
+			}
+			*acc = (*acc)[:0]
+		}
+		*acc = append(*acc, *b...)
+	}
+	if len(*acc) > 0 {
+		if _, err := w.conn.Write(*acc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// close marks the writer closed and releases the flusher. Queued but
+// unwritten frames are dropped (the connection is going away).
+// Idempotent.
+func (w *connWriter) close() {
+	w.mu.Lock()
+	w.closed = true
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}

@@ -104,10 +104,10 @@ func (t *Timer) Cancel() bool {
 	if t == nil || t.ev == nil || t.ev.cancel || t.ev.index == -1 && t.ev.fn == nil {
 		return false
 	}
-	if t.ev.cancel {
-		return false
-	}
 	t.ev.cancel = true
+	// Release the closure immediately: a cancelled event can sit in the
+	// heap until popped, and fn may capture large model state.
+	t.ev.fn = nil
 	return t.ev.index != -1
 }
 
@@ -146,9 +146,13 @@ func (e *Engine) Pending() int { return len(e.events) }
 // Run executes events until the queue is empty or Stop is called.
 func (e *Engine) Run() { e.RunUntil(Infinity) }
 
-// RunUntil executes events with timestamps <= limit, then sets the clock
-// to limit (if the queue emptied earlier the clock stays at the last
-// event). It returns the number of events executed during this call.
+// RunUntil executes events with timestamps <= limit and then advances
+// the clock to limit, even when the queue emptied earlier — callers
+// stepping a simulation in fixed windows rely on Now() landing exactly
+// on each window boundary. The two exceptions leave the clock at the
+// last executed event: Stop (the run was interrupted mid-window) and
+// Run, whose limit of Infinity is a horizon, not a boundary. It returns
+// the number of events executed during this call.
 func (e *Engine) RunUntil(limit Time) uint64 {
 	e.stopped = false
 	var executed uint64
@@ -176,31 +180,44 @@ func (e *Engine) RunUntil(limit Time) uint64 {
 }
 
 // Every schedules fn to run every period seconds starting at now+period,
-// until the returned Ticker is stopped. Jitter, if positive, adds a
-// uniform random offset in [0, jitter) to each firing, desynchronizing
-// periodic processes (heartbeats, monitors).
+// until the returned Ticker is stopped. Jitter, if positive, offsets
+// each firing by a zero-mean uniform phase drawn from
+// [-jitter/2, jitter/2), desynchronizing periodic processes
+// (heartbeats, monitors) without biasing the mean period: firings stay
+// anchored to the ideal k*period grid, so the long-run firing rate is
+// exactly 1/period regardless of jitter.
 func (e *Engine) Every(period, jitter Time, fn func()) *Ticker {
-	t := &Ticker{eng: e, period: period, jitter: jitter, fn: fn}
+	t := &Ticker{eng: e, period: period, jitter: jitter, fn: fn, base: e.now}
 	t.arm()
 	return t
 }
 
 // Ticker repeatedly schedules a callback. Stop it to end the cycle.
 type Ticker struct {
-	eng     *Engine
-	period  Time
-	jitter  Time
-	fn      func()
-	next    *Timer
+	eng    *Engine
+	period Time
+	jitter Time
+	fn     func()
+	next   *Timer
+	// base is the unjittered anchor of the last scheduled firing; each
+	// arm advances it by exactly period so jitter perturbs the phase of
+	// individual firings without accumulating into the period.
+	base    Time
 	stopped bool
 }
 
 func (t *Ticker) arm() {
-	d := t.period
+	t.base += t.period
+	at := t.base
 	if t.jitter > 0 {
-		d += t.eng.Rand().Float64() * t.jitter
+		at += (t.eng.Rand().Float64() - 0.5) * t.jitter
 	}
-	t.next = t.eng.After(d, func() {
+	// A large jitter (> period) can draw a phase behind the clock;
+	// clamp rather than panic in At.
+	if at < t.eng.now {
+		at = t.eng.now
+	}
+	t.next = t.eng.At(at, func() {
 		if t.stopped {
 			return
 		}

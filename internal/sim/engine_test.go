@@ -160,23 +160,103 @@ func TestTickerFiresPeriodicallyAndStops(t *testing.T) {
 }
 
 func TestTickerJitterStaysInBounds(t *testing.T) {
+	// Jitter is a zero-mean phase offset around the k*period grid, so
+	// each firing lands within jitter/2 of its anchor and consecutive
+	// gaps stay within period +/- jitter.
 	e := NewEngine(7)
 	var last Time
 	n := 0
 	tk := e.Every(2.0, 0.5, func() {
+		n++
+		anchor := 2.0 * Time(n)
+		if d := math.Abs(e.Now() - anchor); d > 0.25+1e-9 {
+			t.Fatalf("firing %d at %g is %g from anchor %g, want <= 0.25", n, e.Now(), d, anchor)
+		}
 		gap := e.Now() - last
-		if gap < 2.0-1e-9 || gap > 2.5+1e-9 {
-			t.Fatalf("gap %g outside [2.0, 2.5]", gap)
+		if gap < 2.0-0.5-1e-9 || gap > 2.0+0.5+1e-9 {
+			t.Fatalf("gap %g outside [1.5, 2.5]", gap)
 		}
 		last = e.Now()
-		n++
 	})
 	// First firing is measured against time zero, which also holds.
 	e.RunUntil(50)
 	tk.Stop()
 	if n < 15 {
-		t.Fatalf("only %d ticks in 50s with ~2.25s period", n)
+		t.Fatalf("only %d ticks in 50s with ~2s period", n)
 	}
+}
+
+// TestTickerJitterIsZeroMean is the regression test for the biased
+// jitter bug: jitter used to be drawn from [0, jitter), stretching the
+// mean firing period to period + jitter/2 (a 1s/0.8 monitor sampled
+// ~29% slow). The long-run mean period must equal period exactly.
+func TestTickerJitterIsZeroMean(t *testing.T) {
+	const (
+		period  = 1.0
+		jitter  = 0.8
+		horizon = 10000.0
+	)
+	e := NewEngine(11)
+	n := 0
+	var first, last Time
+	tk := e.Every(period, jitter, func() {
+		if n == 0 {
+			first = e.Now()
+		}
+		last = e.Now()
+		n++
+	})
+	e.RunUntil(horizon)
+	tk.Stop()
+
+	// The biased implementation fires ~horizon/(period+jitter/2) ~= 7143
+	// times here; the zero-mean one stays anchored at ~10000.
+	if n < 9990 || n > 10010 {
+		t.Fatalf("fired %d times in %g s with period %g, want ~10000", n, horizon, period)
+	}
+	mean := (last - first) / Time(n-1)
+	if math.Abs(mean-period) > 0.001 {
+		t.Fatalf("long-run mean period = %g, want %g", mean, period)
+	}
+}
+
+// TestRunUntilClockSemantics pins the reconciled contract: RunUntil
+// advances the clock to its limit even when the queue empties early,
+// while Run leaves the clock at the last executed event.
+func TestRunUntilClockSemantics(t *testing.T) {
+	e := NewEngine(1)
+	e.At(3, func() {})
+	if e.RunUntil(10) != 1 {
+		t.Fatal("event did not run")
+	}
+	if e.Now() != 10 {
+		t.Fatalf("RunUntil(10) left clock at %g, want 10", e.Now())
+	}
+
+	e2 := NewEngine(1)
+	e2.At(3, func() {})
+	e2.Run()
+	if e2.Now() != 3 {
+		t.Fatalf("Run left clock at %g, want 3 (last event)", e2.Now())
+	}
+}
+
+// TestTimerCancelReleasesClosure is the regression test for cancelled
+// timers pinning their callbacks: the event may sit in the heap until
+// popped, so Cancel must drop the fn reference immediately.
+func TestTimerCancelReleasesClosure(t *testing.T) {
+	e := NewEngine(1)
+	tm := e.At(1000, func() {})
+	if !tm.Cancel() {
+		t.Fatal("Cancel reported false for a pending timer")
+	}
+	if tm.ev.fn != nil {
+		t.Fatal("Cancel left the callback closure reachable")
+	}
+	if tm.Cancel() {
+		t.Fatal("second Cancel reported true")
+	}
+	e.Run() // the cancelled event must pop without firing or panicking
 }
 
 func TestEngineDeterminism(t *testing.T) {

@@ -44,17 +44,18 @@ type Instant struct {
 // Recorder collects spans. Safe for concurrent use (the real runtime
 // traces from goroutines; the simulator from one).
 type Recorder struct {
-	mu       sync.Mutex
-	spans    []Span
-	instants []Instant
-	enabled  bool
-	dropped  int
-	limit    int
+	mu              sync.Mutex
+	spans           []Span
+	instants        []Instant
+	enabled         bool
+	dropped         int
+	droppedInstants int
+	limit           int
 }
 
 // NewRecorder returns an enabled recorder. limit bounds retained spans
-// (0 = 1<<20); beyond it spans are counted as dropped rather than
-// growing without bound.
+// and instants independently (0 = 1<<20); beyond it entries are counted
+// as dropped rather than growing without bound.
 func NewRecorder(limit int) *Recorder {
 	if limit <= 0 {
 		limit = 1 << 20
@@ -86,7 +87,9 @@ func (r *Recorder) Add(s Span) {
 	r.spans = append(r.spans, s)
 }
 
-// Mark records an instant event.
+// Mark records an instant event. Instants honour the same retention
+// limit as spans: a long live run emitting failure/repartition markers
+// must not grow the recorder without bound.
 func (r *Recorder) Mark(i Instant) {
 	if i.Name == "" {
 		return
@@ -94,6 +97,10 @@ func (r *Recorder) Mark(i Instant) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if !r.enabled {
+		return
+	}
+	if len(r.instants) >= r.limit {
+		r.droppedInstants++
 		return
 	}
 	r.instants = append(r.instants, i)
@@ -106,11 +113,26 @@ func (r *Recorder) Len() int {
 	return len(r.spans)
 }
 
+// InstantsLen returns the number of retained instants.
+func (r *Recorder) InstantsLen() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.instants)
+}
+
 // Dropped returns how many spans exceeded the retention limit.
 func (r *Recorder) Dropped() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.dropped
+}
+
+// DroppedInstants returns how many instants exceeded the retention
+// limit.
+func (r *Recorder) DroppedInstants() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.droppedInstants
 }
 
 // Spans returns a copy of retained spans, ordered by start time.

@@ -42,6 +42,24 @@ func TestRecorderLimitAndDrops(t *testing.T) {
 	}
 }
 
+// TestRecorderInstantLimitAndDrops is the regression test for Mark
+// growing without bound: instants must honour the same retention limit
+// and dropped accounting as spans.
+func TestRecorderInstantLimitAndDrops(t *testing.T) {
+	r := NewRecorder(2)
+	for i := 0; i < 5; i++ {
+		r.Mark(Instant{Name: "fail", Track: "t", AtS: float64(i)})
+	}
+	if r.InstantsLen() != 2 || r.DroppedInstants() != 3 {
+		t.Fatalf("instants=%d dropped=%d, want 2/3", r.InstantsLen(), r.DroppedInstants())
+	}
+	// Spans and instants are limited independently.
+	r.Add(Span{Name: "s", Track: "t", StartS: 0, EndS: 1})
+	if r.Len() != 1 || r.Dropped() != 0 {
+		t.Fatalf("span accounting disturbed: len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+}
+
 func TestRecorderDisable(t *testing.T) {
 	r := NewRecorder(0)
 	r.SetEnabled(false)
