@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race chaos bench bench-all sweep examples fmt vet clean
+.PHONY: all build test race chaos live-smoke bench bench-all sweep examples fmt vet clean
 
 all: build vet test
 
@@ -21,6 +21,14 @@ chaos:
 	$(GO) test -race -count=1 \
 		-run 'Chaos|Injector|Breaker|Respawn|FailAll|Reliable|Heartbeat|Failover|Replica|Checkpoint|Durable|Straggler|Orphan' \
 		./internal/chaos/ ./internal/rpc/ ./internal/runtime/ ./internal/store/ ./internal/controller/
+
+# Observability smoke run: a real TCP fleet with traced requests and a
+# chaos-killed primary must emit a non-empty, valid Chrome trace whose
+# lanes cover every layer of the stack.
+live-smoke:
+	$(GO) run ./cmd/hivemind-live -replicas 3 -requests 10 -kill -trace live.json
+	$(GO) run ./cmd/hivemind-tracecheck -in live.json \
+		-tracks gateway,controller,rpc,runtime
 
 # RPC data-plane benchmarks, recorded as JSON under BENCH_LABEL
 # (default "post"). Existing labels in BENCH_rpc.json are preserved, so

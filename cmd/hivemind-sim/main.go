@@ -7,14 +7,17 @@
 //	hivemind-sim -fig fig01 [-seed 7] [-quick]
 //	hivemind-sim -all [-quick]
 //	hivemind-sim -mission scenario-a -system hivemind -trace out.json
+//	hivemind-sim -mission scenario-a -http 127.0.0.1:8080   # keep serving /metrics /trace /debug/pprof
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 
 	"hivemind/internal/experiments"
+	"hivemind/internal/metrics"
 	"hivemind/internal/platform"
 	"hivemind/internal/scenario"
 	"hivemind/internal/trace"
@@ -33,11 +36,13 @@ func main() {
 		traceFn = flag.String("trace", "", "write a Chrome trace of the -mission run to this file")
 		killCtl = flag.Float64("kill-controller", -1,
 			"crash the active controller replica at this mission second (a hot standby takes over; -1 = never)")
+		httpAddr = flag.String("http", "",
+			"after a -mission run, keep serving /metrics, /trace and /debug/pprof on this address")
 	)
 	flag.Parse()
 
 	if *mission != "" {
-		if err := runMission(*mission, *system, *devices, *seed, *traceFn, *killCtl); err != nil {
+		if err := runMission(*mission, *system, *devices, *seed, *traceFn, *killCtl, *httpAddr); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -68,7 +73,7 @@ func main() {
 }
 
 // runMission executes one end-to-end mission, optionally tracing it.
-func runMission(mission, system string, devices int, seed int64, traceFn string, killCtlAtS float64) error {
+func runMission(mission, system string, devices int, seed int64, traceFn string, killCtlAtS float64, httpAddr string) error {
 	kinds := map[string]scenario.Kind{
 		"scenario-a": scenario.ScenarioA, "scenario-b": scenario.ScenarioB,
 		"treasure-hunt": scenario.TreasureHunt, "maze": scenario.Maze,
@@ -89,7 +94,7 @@ func runMission(mission, system string, devices int, seed int64, traceFn string,
 	}
 	opts := platform.Preset(sysKind, devices, seed)
 	var rec *trace.Recorder
-	if traceFn != "" {
+	if traceFn != "" || httpAddr != "" {
 		rec = trace.NewRecorder(0)
 		opts.Trace = rec
 	}
@@ -102,7 +107,7 @@ func runMission(mission, system string, devices int, seed int64, traceFn string,
 	if res.Failover != nil {
 		fmt.Printf("controller: %s\n", res.Failover)
 	}
-	if rec != nil {
+	if rec != nil && traceFn != "" {
 		f, err := os.Create(traceFn)
 		if err != nil {
 			return err
@@ -112,6 +117,17 @@ func runMission(mission, system string, devices int, seed int64, traceFn string,
 			return err
 		}
 		fmt.Printf("wrote %d spans to %s\n%s", rec.Len(), traceFn, rec.Summary())
+	}
+	if httpAddr != "" {
+		// Expose the run's results for interactive inspection: latency
+		// percentiles as a metrics snapshot, the span recording as a
+		// Chrome trace, and the Go profiler.
+		reg := metrics.NewRegistry()
+		for _, v := range res.TaskLatency.Values() {
+			reg.Observe("task-latency", v)
+		}
+		fmt.Printf("serving /metrics /trace /debug/pprof on %s (Ctrl-C to stop)\n", httpAddr)
+		return http.ListenAndServe(httpAddr, metrics.DebugMux(reg, rec))
 	}
 	return nil
 }

@@ -1,0 +1,86 @@
+// Command hivemind-tracecheck validates a Chrome trace-event JSON file
+// produced by the recorder: it must parse, be non-empty, and (with
+// -tracks) contain a thread lane for every named track. CI's live
+// smoke job runs it against the fleet demo's trace artifact.
+//
+// Usage:
+//
+//	hivemind-tracecheck -in live.json -tracks gateway,controller,rpc,runtime
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+type event struct {
+	Name  string            `json:"name"`
+	Phase string            `json:"ph"`
+	Args  map[string]string `json:"args"`
+}
+
+func main() {
+	var (
+		in     = flag.String("in", "", "Chrome trace-event JSON file to validate")
+		tracks = flag.String("tracks", "", "comma-separated thread lanes that must be present")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := check(*in, *tracks); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func check(path, tracks string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var events []event
+	if err := json.Unmarshal(raw, &events); err != nil {
+		return fmt.Errorf("%s is not a Chrome trace-event array: %w", path, err)
+	}
+	spans := 0
+	lanes := map[string]bool{}
+	for _, ev := range events {
+		switch ev.Phase {
+		case "X":
+			spans++
+		case "M":
+			if ev.Name == "thread_name" {
+				lanes[ev.Args["name"]] = true
+			}
+		}
+	}
+	if spans == 0 {
+		return fmt.Errorf("%s holds no spans (%d events)", path, len(events))
+	}
+	var missing []string
+	for _, want := range strings.Split(tracks, ",") {
+		if want = strings.TrimSpace(want); want != "" && !lanes[want] {
+			missing = append(missing, want)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("%s is missing lanes %v (has %v)", path, missing, sortedLanes(lanes))
+	}
+	fmt.Printf("%s: %d events, %d spans, %d lanes — ok\n", path, len(events), spans, len(lanes))
+	return nil
+}
+
+func sortedLanes(lanes map[string]bool) []string {
+	out := make([]string, 0, len(lanes))
+	for l := range lanes {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}

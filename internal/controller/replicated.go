@@ -7,12 +7,14 @@ import (
 	"math/rand"
 	"net"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"hivemind/internal/geo"
 	"hivemind/internal/rpc"
+	"hivemind/internal/trace"
 )
 
 // This file is the live counterpart of the simulated Controller: the
@@ -197,10 +199,11 @@ type leaderResp struct {
 // in-process pipes) and point peer dial functions at the other
 // replicas.
 type Replica struct {
-	cfg   ReplicaConfig
-	mon   *Monitor
-	srv   *rpc.Server
-	peers map[int]*rpc.ReliableClient
+	cfg    ReplicaConfig
+	mon    *Monitor
+	srv    *rpc.Server
+	peers  map[int]*rpc.ReliableClient
+	tracer *trace.Live // set before Start; read under mu
 
 	mu          sync.Mutex
 	rng         *rand.Rand
@@ -286,6 +289,16 @@ func (r *Replica) drawTimeout() time.Duration {
 		return r.cfg.ElectionTimeoutMin
 	}
 	return r.cfg.ElectionTimeoutMin + time.Duration(r.rng.Int63n(int64(span)))
+}
+
+// SetTracer installs a live tracer: the replica marks elections,
+// takeovers, and device failures as instants on the "controller" lane,
+// so a chaos run's Chrome trace shows the control-plane timeline next
+// to the task spans. Call before Start.
+func (r *Replica) SetTracer(l *trace.Live) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tracer = l
 }
 
 // Server returns the replica's RPC server (serve it on a listener or
@@ -529,6 +542,10 @@ func (r *Replica) runElection() {
 	r.lastQuorum = now
 	r.lastScan = now
 	r.mon.CountEvent(EventElection)
+	r.tracer.Mark("election-won", "controller", map[string]string{
+		"replica": strconv.Itoa(r.cfg.ID),
+		"term":    strconv.FormatUint(term, 10),
+	}, false)
 	promotedAfter := time.Duration(0)
 	if !r.lastLease.IsZero() {
 		// A previously serving primary existed: this is a failover, and
@@ -536,6 +553,10 @@ func (r *Replica) runElection() {
 		promotedAfter = now.Sub(r.lastLease)
 		r.mon.CountEvent(EventFailover)
 		r.mon.Observe(SampleFailoverLatency, promotedAfter.Seconds())
+		r.tracer.Mark("failover", "controller", map[string]string{
+			"replica":  strconv.Itoa(r.cfg.ID),
+			"window_s": strconv.FormatFloat(promotedAfter.Seconds(), 'f', 4, 64),
+		}, true)
 	}
 	recover := r.cfg.Recover
 	r.mu.Unlock()
@@ -790,6 +811,9 @@ func (r *Replica) failMemberLocked(ids []int, failedID int) {
 	m := r.members[failedID]
 	m.Failed = true
 	r.mon.CountEvent(EventDeviceFailure)
+	r.tracer.Mark("device-failed", "controller", map[string]string{
+		"device": strconv.Itoa(failedID),
+	}, false)
 	if !m.Region.Valid() {
 		return
 	}

@@ -1,0 +1,35 @@
+package metrics
+
+import (
+	"net/http"
+	"net/http/pprof"
+
+	"hivemind/internal/trace"
+)
+
+// DebugMux builds the live-substrate introspection surface shared by
+// cmd/hivemind-sim and the live demo binaries:
+//
+//	/metrics      text exposition of reg (omitted when reg is nil)
+//	/trace        Chrome trace-event JSON dump of rec (omitted when nil)
+//	/debug/pprof  the standard Go profiler endpoints
+//
+// Serve it with http.Server/http.ListenAndServe on an operator port.
+func DebugMux(reg *Registry, rec *trace.Recorder) *http.ServeMux {
+	mux := http.NewServeMux()
+	if reg != nil {
+		mux.Handle("/metrics", reg.Handler())
+	}
+	if rec != nil {
+		mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			rec.WriteChromeTrace(w)
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -55,6 +55,9 @@ type FailoverOptions struct {
 	// CallTimeout bounds each individual attempt (0: only the caller's
 	// ctx bounds it).
 	CallTimeout time.Duration
+	// Observer, when non-nil, is installed on every endpoint connection
+	// (initial and redials) to time each RPC hop.
+	Observer CallObserver
 }
 
 // FailoverClient routes calls to the current primary of a replicated
@@ -125,6 +128,9 @@ func (f *FailoverClient) clientFor(idx int) (*Client, error) {
 		f.cls[idx].Close()
 	}
 	f.cls[idx] = NewClient(conn, f.opts.Callers)
+	if f.opts.Observer != nil {
+		f.cls[idx].SetObserver(f.opts.Observer)
+	}
 	return f.cls[idx], nil
 }
 

@@ -1,0 +1,124 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// obsLog is a goroutine-safe record of observer invocations (the client
+// invokes the done callback from its read loop).
+type obsLog struct {
+	mu      sync.Mutex
+	started []string
+	errs    []error
+}
+
+func (o *obsLog) observer(method string, payload []byte) func(error) {
+	o.mu.Lock()
+	o.started = append(o.started, method+":"+string(payload))
+	o.mu.Unlock()
+	return func(err error) {
+		o.mu.Lock()
+		o.errs = append(o.errs, err)
+		o.mu.Unlock()
+	}
+}
+
+func (o *obsLog) snapshot() ([]string, []error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]string{}, o.started...), append([]error{}, o.errs...)
+}
+
+func TestClientObserverSeesOutcomePerCall(t *testing.T) {
+	c := pipeClientServer(t, echoServer(), 4)
+	var log obsLog
+	c.SetObserver(log.observer)
+
+	if _, err := c.CallSync("echo", []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CallSync("fail", nil); err == nil {
+		t.Fatal("fail call succeeded")
+	}
+	started, errs := log.snapshot()
+	if len(started) != 2 || started[0] != "echo:hi" || started[1] != "fail:" {
+		t.Fatalf("observed starts = %v", started)
+	}
+	if len(errs) != 2 || errs[0] != nil || errs[1] == nil {
+		t.Fatalf("observed outcomes = %v", errs)
+	}
+}
+
+func TestClientObserverIgnoresPings(t *testing.T) {
+	c := pipeClientServer(t, echoServer(), 4)
+	var log obsLog
+	c.SetObserver(log.observer)
+	if err := c.Ping(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if started, _ := log.snapshot(); len(started) != 0 {
+		t.Fatalf("pings observed: %v", started)
+	}
+}
+
+func TestClientObserverClears(t *testing.T) {
+	c := pipeClientServer(t, echoServer(), 4)
+	var log obsLog
+	c.SetObserver(log.observer)
+	c.SetObserver(nil)
+	if _, err := c.CallSync("echo", nil); err != nil {
+		t.Fatal(err)
+	}
+	if started, _ := log.snapshot(); len(started) != 0 {
+		t.Fatalf("cleared observer still invoked: %v", started)
+	}
+}
+
+func TestServerInterceptorWrapsPlainAndCtxHandlers(t *testing.T) {
+	s := NewServer()
+	s.Register("plain", func(p []byte) ([]byte, error) { return append(p, '!'), nil })
+	s.RegisterCtx("withctx", func(ctx context.Context, p []byte) ([]byte, error) {
+		return append(p, '?'), nil
+	})
+	var mu sync.Mutex
+	var seen []string
+	s.SetInterceptor(func(ctx context.Context, method string, payload []byte, next HandlerCtx) ([]byte, error) {
+		mu.Lock()
+		seen = append(seen, method+":"+string(payload))
+		mu.Unlock()
+		return next(ctx, payload)
+	})
+	c := pipeClientServer(t, s, 4)
+
+	out, err := c.CallSync("plain", []byte("a"))
+	if err != nil || string(out) != "a!" {
+		t.Fatalf("plain = %q, %v", out, err)
+	}
+	out, err = c.CallSync("withctx", []byte("b"))
+	if err != nil || string(out) != "b?" {
+		t.Fatalf("withctx = %q, %v", out, err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 2 || seen[0] != "plain:a" || seen[1] != "withctx:b" {
+		t.Fatalf("intercepted = %v", seen)
+	}
+}
+
+func TestServerInterceptorCanShortCircuit(t *testing.T) {
+	s := echoServer()
+	s.SetInterceptor(func(ctx context.Context, method string, payload []byte, next HandlerCtx) ([]byte, error) {
+		if method == "echo" {
+			return nil, errors.New("vetoed")
+		}
+		return next(ctx, payload)
+	})
+	c := pipeClientServer(t, s, 4)
+	if _, err := c.CallSync("echo", nil); err == nil || !strings.Contains(err.Error(), "vetoed") {
+		t.Fatalf("err = %v", err)
+	}
+}

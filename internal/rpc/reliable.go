@@ -33,6 +33,9 @@ type ReliableOptions struct {
 	HeartbeatTimeout  time.Duration
 	// Seed makes backoff jitter reproducible (0: wall-clock seed).
 	Seed int64
+	// Observer, when non-nil, is installed on every underlying
+	// connection (initial and reconnects) to time each RPC hop.
+	Observer CallObserver
 }
 
 // DefaultReliableOptions returns the hardened-edge defaults: the §3.2
@@ -148,6 +151,9 @@ func (rc *ReliableClient) client() (*Client, error) {
 		rc.bump(func(s *ReliableStats) { s.Reconnects++ })
 	}
 	rc.cur = NewClient(conn, rc.opts.Callers)
+	if rc.opts.Observer != nil {
+		rc.cur.SetObserver(rc.opts.Observer)
+	}
 	if rc.opts.HeartbeatInterval > 0 {
 		if rc.hbStop != nil {
 			close(rc.hbStop)

@@ -90,6 +90,20 @@ type Handler func(payload []byte) ([]byte, error)
 // propagation).
 type HandlerCtx func(ctx context.Context, payload []byte) ([]byte, error)
 
+// CallObserver is the client-side interceptor hook: it is invoked once
+// per outbound request with the method and payload and returns a
+// completion callback invoked with the call's final error (nil on
+// success), or nil to skip observing this call. The pair brackets the
+// full RPC hop — caller-pool wait, write, server turnaround, reply — so
+// observability layers can time hops without touching the wire format.
+type CallObserver func(method string, payload []byte) func(err error)
+
+// ServerInterceptor wraps every dispatched handler: it receives the
+// request and the resolved handler (next) and must call it (or not) to
+// produce the response. Interceptors time or trace the server side of
+// an RPC hop; method is a stable copy, safe to retain.
+type ServerInterceptor func(ctx context.Context, method string, payload []byte, next HandlerCtx) ([]byte, error)
+
 // frame describes one outgoing frame (write side).
 type frame struct {
 	kind    byte
@@ -143,8 +157,9 @@ type handlerEntry struct {
 
 // Server dispatches registered procedures over accepted connections.
 type Server struct {
-	mu       sync.RWMutex
-	handlers map[string]handlerEntry
+	mu          sync.RWMutex
+	handlers    map[string]handlerEntry
+	interceptor ServerInterceptor
 
 	lnMu      sync.Mutex
 	listeners []net.Listener
@@ -167,6 +182,15 @@ func (s *Server) SetWorkers(n int) {
 	s.lnMu.Lock()
 	defer s.lnMu.Unlock()
 	s.workers = n
+}
+
+// SetInterceptor installs a server-side interceptor wrapping every
+// dispatched handler (nil removes it). It applies to requests read
+// after the call; in-flight requests keep the handler they resolved.
+func (s *Server) SetInterceptor(si ServerInterceptor) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.interceptor = si
 }
 
 // Register binds a handler to a method name. Re-registering replaces the
@@ -278,10 +302,19 @@ func (s *Server) ServeConn(conn net.Conn) {
 			}
 			s.mu.RLock()
 			h, ok := s.handlers[string(f.method)] // alloc-free []byte map key
+			icept := s.interceptor
 			s.mu.RUnlock()
 			t := task{h: h.fn, callID: f.callID, payload: f.payload}
 			if !ok {
 				t.h = nil
+			} else if icept != nil {
+				// f.method aliases the read buffer; the interceptor runs
+				// async on the worker pool, so it gets a stable copy.
+				method := string(f.method)
+				inner := h.fn
+				t.h = func(ctx context.Context, payload []byte) ([]byte, error) {
+					return icept(ctx, method, payload, inner)
+				}
 			}
 			if ok && !h.plain {
 				// Context-aware handler: track it so cancel frames and
@@ -323,6 +356,7 @@ type Call struct {
 	replyTo uint64
 	fin     atomic.Bool   // completion claimed; winner sets Err/Reply
 	sem     chan struct{} // caller-pool slot to return; nil if none held
+	obsDone func(error)   // observer completion hook; nil when unobserved
 }
 
 // donePool recycles the internal completion channels of the blocking
@@ -366,6 +400,20 @@ type Client struct {
 	readErr error
 
 	sem chan struct{}
+
+	// obs holds the call observer; atomic so the hot path loads it
+	// without taking c.mu.
+	obs atomic.Pointer[CallObserver]
+}
+
+// SetObserver installs a client-side call observer (nil removes it).
+// It applies to calls started after the call returns.
+func (c *Client) SetObserver(obs CallObserver) {
+	if obs == nil {
+		c.obs.Store(nil)
+		return
+	}
+	c.obs.Store(&obs)
 }
 
 // NewClient wraps an established connection with a caller pool of the
@@ -453,6 +501,12 @@ func (c *Client) failAll(err error) {
 // deliver returns the caller-pool slot and hands the call to Done. Only
 // reached through once.Do.
 func (call *Call) deliver() {
+	if call.obsDone != nil {
+		// Observed before the caller unblocks, so a span recorded here is
+		// visible as soon as the blocking call returns.
+		call.obsDone(call.Err)
+		call.obsDone = nil
+	}
 	if call.sem != nil {
 		<-call.sem
 	}
@@ -493,6 +547,13 @@ func (c *Client) Healthy() bool {
 // slot (held until the call finishes); pings bypass the pool so
 // heartbeats get through even when the pool is saturated.
 func (c *Client) start(ctx context.Context, kind byte, call *Call, payload []byte, useSem bool) *Call {
+	if kind == kindRequest {
+		if obs := c.obs.Load(); obs != nil {
+			// Opened before the caller-pool wait so the observed hop covers
+			// queueing, exactly what a client-perceived RPC latency is.
+			call.obsDone = (*obs)(call.Method, payload)
+		}
+	}
 	if useSem {
 		if ctx.Done() == nil {
 			// Background context: plain send, no select machinery.

@@ -9,7 +9,9 @@ import (
 	"time"
 
 	"hivemind/internal/rpc"
+	"hivemind/internal/stats"
 	"hivemind/internal/store"
+	"hivemind/internal/trace"
 )
 
 // GatewayMonitor is the metrics sink the gateway reports into —
@@ -57,6 +59,15 @@ type GatewayConfig struct {
 	// Tracker, when set, mirrors in-flight chains into the replicated
 	// task table.
 	Tracker TaskTracker
+	// Tracer, when set, records a span per task on the "gateway" lane
+	// (plus an admission span on the "controller" lane) and propagates
+	// the task's trace context into the runtime and store layers.
+	Tracer *trace.Live
+	// Breakdown, when set, accumulates the paper's four-stage latency
+	// decomposition (network/management/dataio/execution) for every
+	// successful task. The gateway serialises access; share one
+	// Breakdown across gateways only through Breakdown.Merge.
+	Breakdown *stats.Breakdown
 }
 
 // DefaultGatewayConfig mirrors the faas model's respawn calibration.
@@ -84,6 +95,10 @@ type Gateway struct {
 	mu     sync.Mutex
 	chains map[string][]string // chain method -> tier functions (for Recover)
 	nextID uint64
+
+	// bdMu guards cfg.Breakdown (stats.Breakdown is not goroutine-safe;
+	// concurrent handlers record through this gate).
+	bdMu sync.Mutex
 }
 
 // NewGateway wraps a runtime with an RPC front door. timeout bounds
@@ -136,10 +151,13 @@ func (g *Gateway) callCtx(ctx context.Context) (context.Context, context.CancelF
 // function must already be registered on the runtime.
 func (g *Gateway) Expose(method, function string) {
 	g.srv.RegisterCtx(method, func(ctx context.Context, payload []byte) ([]byte, error) {
+		start := time.Now()
+		env, body, _ := DecodeTaskEnvelope(payload)
 		ctx, cancel := g.callCtx(ctx)
 		defer cancel()
-		start := time.Now()
-		res, err := g.rt.Invoke(ctx, function, payload)
+		octx, obs := g.observeTask(ctx, method, env.Trace.TraceID, env, start)
+		res, err := g.rt.Invoke(octx, function, body)
+		obs.finish(err)
 		g.observe("gateway-latency", time.Since(start))
 		if err != nil {
 			g.countFailure(ctx)
@@ -212,27 +230,35 @@ func (g *Gateway) ExposeChain(method string, functions []string) {
 	g.chains[method] = append([]string(nil), functions...)
 	g.mu.Unlock()
 	g.srv.RegisterCtx(method, func(ctx context.Context, payload []byte) ([]byte, error) {
+		start := time.Now()
+		env, body, ok := DecodeTaskEnvelope(payload)
+		taskID := env.ID
+		if taskID == "" || !ok {
+			taskID = g.genTaskID(method)
+		}
+		traceID := env.Trace.TraceID
+		if traceID == "" {
+			traceID = taskID
+		}
+		octx, obs := g.observeTask(ctx, method, traceID, env, start)
 		if g.cfg.Admission != nil {
-			if err := g.cfg.Admission(); err != nil {
+			if err := obs.admission(method, g.cfg.Admission); err != nil {
+				obs.finish(err)
 				return nil, err
 			}
 		}
-		ctx, cancel := g.callCtx(ctx)
+		octx, cancel := g.callCtx(octx)
 		defer cancel()
-		start := time.Now()
 		var data []byte
 		var err error
 		if g.cfg.Checkpoints != nil {
-			taskID, body, ok := DecodeTask(payload)
-			if !ok {
-				taskID = g.genTaskID(method)
-			}
-			data, err = g.runDurable(ctx, method, taskID, functions, body)
+			data, err = g.runDurable(octx, method, taskID, functions, body)
 		} else {
-			data, err = g.runVolatile(ctx, method, functions, payload)
+			data, err = g.runVolatile(octx, method, functions, body)
 		}
+		obs.finish(err)
 		if err != nil {
-			g.countFailure(ctx)
+			g.countFailure(octx)
 			return nil, err
 		}
 		g.observe("gateway-chain-latency", time.Since(start))
@@ -263,7 +289,12 @@ func (g *Gateway) runVolatile(ctx context.Context, method string, functions []st
 // steps run through the ordinary respawn path and then commit
 // create-only.
 func (g *Gateway) runDurable(ctx context.Context, method, taskID string, functions []string, payload []byte) ([]byte, error) {
+	// Checkpoint reads and commits are store round-trips: they charge
+	// the task's data-IO stage, like the runtime's exchange handoffs.
+	clk := taskTraceFrom(ctx).stages()
+	stop := clk.track(stats.StageDataIO)
 	ck, input, err := g.cfg.Checkpoints.Begin(taskID, method, payload)
+	stop()
 	if err != nil {
 		return nil, fmt.Errorf("chain %s: opening task %s: %w", method, taskID, err)
 	}
@@ -271,28 +302,40 @@ func (g *Gateway) runDurable(ctx context.Context, method, taskID string, functio
 	defer g.trackFinish(taskID)
 	data := input
 	for i, fn := range functions {
-		if out, ok, serr := g.cfg.Checkpoints.StepOutput(taskID, i); serr != nil {
+		stop = clk.track(stats.StageDataIO)
+		out, committed, serr := g.cfg.Checkpoints.StepOutput(taskID, i)
+		stop()
+		if serr != nil {
 			return nil, fmt.Errorf("chain %s: reading step %d of %s: %w", method, i, taskID, serr)
-		} else if ok {
+		}
+		if committed {
 			data = out // already committed by a previous incarnation
 			continue
 		}
 		// Write-ahead: the step index is durable before dispatch, so a
 		// crash right after this point leaves an enumerable orphan.
-		if err := g.cfg.Checkpoints.Advance(taskID, i); err != nil {
+		stop = clk.track(stats.StageDataIO)
+		err := g.cfg.Checkpoints.Advance(taskID, i)
+		stop()
+		if err != nil {
 			return nil, fmt.Errorf("chain %s: checkpointing step %d of %s: %w", method, i, taskID, err)
 		}
 		g.trackStep(taskID, i)
-		out, err := g.runStep(ctx, method, fn, data)
+		out, err = g.runStep(ctx, method, fn, data)
 		if err != nil {
 			return nil, fmt.Errorf("chain %s at tier %s: %w", method, fn, err)
 		}
+		stop = clk.track(stats.StageDataIO)
 		data, err = g.cfg.Checkpoints.CommitStep(taskID, i, out)
+		stop()
 		if err != nil {
 			return nil, fmt.Errorf("chain %s: committing step %d of %s: %w", method, i, taskID, err)
 		}
 	}
-	if err := g.cfg.Checkpoints.Complete(taskID); err != nil {
+	stop = clk.track(stats.StageDataIO)
+	err = g.cfg.Checkpoints.Complete(taskID)
+	stop()
+	if err != nil {
 		return nil, fmt.Errorf("chain %s: completing task %s: %w", method, taskID, err)
 	}
 	return data, nil

@@ -1,0 +1,123 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"hivemind/internal/stats"
+	"hivemind/internal/trace"
+)
+
+func TestTaskEnvelopeV2RoundTrip(t *testing.T) {
+	sent := time.Unix(1700000000, 123456789)
+	sc := trace.SpanContext{TraceID: "task-9", Parent: 42}
+	raw := EncodeTaskTraced("task-9", sc, sent, []byte("payload"))
+	env, body, ok := DecodeTaskEnvelope(raw)
+	if !ok {
+		t.Fatal("v2 envelope not recognised")
+	}
+	if env.ID != "task-9" || env.Trace != sc || env.SentAtNS != sent.UnixNano() {
+		t.Fatalf("envelope = %+v", env)
+	}
+	if string(body) != "payload" {
+		t.Fatalf("body = %q", body)
+	}
+}
+
+func TestTaskEnvelopeAcceptsV1(t *testing.T) {
+	raw := EncodeTask("legacy", []byte("data"))
+	env, body, ok := DecodeTaskEnvelope(raw)
+	if !ok || env.ID != "legacy" || string(body) != "data" {
+		t.Fatalf("v1 decode: ok=%v env=%+v body=%q", ok, env, body)
+	}
+	if env.Trace.Valid() || env.SentAtNS != 0 {
+		t.Fatalf("v1 envelope grew trace state: %+v", env)
+	}
+}
+
+func TestTaskEnvelopeBareAndTruncated(t *testing.T) {
+	env, body, ok := DecodeTaskEnvelope([]byte("just bytes"))
+	if ok || env.ID != "" || string(body) != "just bytes" {
+		t.Fatalf("bare payload: ok=%v env=%+v body=%q", ok, env, body)
+	}
+	// Every truncation of a v2 envelope's header must decode without
+	// panicking and hand the raw bytes back untouched.
+	full := EncodeTaskTraced("id", trace.SpanContext{TraceID: "tr"}, time.Now(), []byte("p"))
+	headerLen := len(full) - 1 // last byte is payload
+	for cut := len(taskMagicV2) + 2; cut < headerLen; cut++ {
+		truncated := full[:cut]
+		env, got, ok := DecodeTaskEnvelope(truncated)
+		if ok {
+			t.Fatalf("truncated header (%d bytes) decoded: %+v", cut, env)
+		}
+		if string(got) != string(truncated) {
+			t.Fatalf("truncated decode mangled payload: %q", got)
+		}
+	}
+}
+
+func TestStageClockNilSafe(t *testing.T) {
+	var c *stageClock
+	c.add(stats.StageDataIO, time.Second)
+	c.track(stats.StageExecution)()
+	if c.get(stats.StageDataIO) != 0 {
+		t.Fatal("nil clock accumulated")
+	}
+	var tt *taskTrace
+	if tt.stages() != nil {
+		t.Fatal("nil taskTrace has stages")
+	}
+	if tt.span("s", "c", "t") != nil {
+		t.Fatal("nil taskTrace opened a span")
+	}
+}
+
+func TestStageClockAccumulates(t *testing.T) {
+	c := newStageClock()
+	c.add(stats.StageDataIO, 10*time.Millisecond)
+	c.add(stats.StageDataIO, 5*time.Millisecond)
+	c.add(stats.StageExecution, -time.Second) // negative: ignored
+	if got := c.get(stats.StageDataIO); got < 0.0149 || got > 0.0151 {
+		t.Fatalf("dataio = %g, want 0.015", got)
+	}
+	if c.get(stats.StageExecution) != 0 {
+		t.Fatal("negative duration charged")
+	}
+}
+
+func TestTraceCallObserverLinksEnvelopeTrace(t *testing.T) {
+	rec := trace.NewRecorder(0)
+	obs := TraceCallObserver(trace.NewLive(rec))
+	payload := EncodeTaskTraced("task-5", trace.SpanContext{TraceID: "task-5"}, time.Now(), []byte("x"))
+	done := obs("pipeline", payload)
+	done(errors.New("boom"))
+	spans := rec.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	s := spans[0]
+	if s.Name != "call pipeline" || s.Track != "rpc" || s.Args["trace"] != "task-5" || s.Args["error"] != "boom" {
+		t.Fatalf("span = %+v", s)
+	}
+	// Nil tracer: observer must be inert, returning a nil done callback.
+	if d := TraceCallObserver(nil)("m", payload); d != nil {
+		t.Fatal("nil tracer produced a done callback")
+	}
+}
+
+func TestTraceServerInterceptorTimesHandler(t *testing.T) {
+	rec := trace.NewRecorder(0)
+	icept := TraceServerInterceptor(trace.NewLive(rec), "rpc")
+	payload := EncodeTaskTraced("task-6", trace.SpanContext{TraceID: "task-6"}, time.Now(), []byte("x"))
+	out, err := icept(context.Background(), "pipeline", payload,
+		func(ctx context.Context, p []byte) ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || string(out) != "ok" {
+		t.Fatalf("interceptor altered result: %q %v", out, err)
+	}
+	spans := rec.Spans()
+	if len(spans) != 1 || spans[0].Name != "serve pipeline" || spans[0].Args["trace"] != "task-6" {
+		t.Fatalf("spans = %+v", spans)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hivemind/internal/stats"
 	"hivemind/internal/store"
 )
 
@@ -227,6 +228,12 @@ func (r *Runtime) Invoke(ctx context.Context, name string, input []byte) (Result
 	start := time.Now()
 	r.stats.invocations.Add(1)
 
+	// The runtime layer's span covers the whole invocation — admission
+	// to the in-flight semaphore, cold/warm start, every attempt.
+	tt := taskTraceFrom(ctx)
+	sp := tt.span("invoke "+name, string(stats.StageExecution), "runtime")
+	defer sp.End()
+
 	select {
 	case r.sem <- struct{}{}:
 	case <-ctx.Done():
@@ -262,7 +269,11 @@ func (r *Runtime) Invoke(ctx context.Context, name string, input []byte) (Result
 			}
 		}
 		if err == nil {
+			// Only the function body counts as the execution stage;
+			// provisioning delays and respawn pauses fall to management.
+			stop := tt.stages().track(stats.StageExecution)
 			out, err = r.execute(ctx, fn, input)
+			stop()
 		}
 		r.releaseInstance(inst)
 		if err == nil {
@@ -383,6 +394,7 @@ const exchangeAttempts = 3
 // round-trip of §3.3). Store faults are retried with the respawn
 // cadence and ultimately degrade to the in-memory value.
 func (r *Runtime) exchange(ctx context.Context, key string, output []byte) ([]byte, error) {
+	defer taskTraceFrom(ctx).stages().track(stats.StageDataIO)()
 	var lastErr error
 	for attempt := 0; attempt < exchangeAttempts; attempt++ {
 		if attempt > 0 && r.cfg.RespawnDelay > 0 {

@@ -142,13 +142,22 @@ func (s *Sharded) Decide(key uint64, done func(latency sim.Time)) {
 	})
 }
 
-// MeanQueueDelay reports the average decision wait across shards.
+// MeanQueueDelay reports the average decision wait across shards,
+// weighted by each shard's completed decisions: under a skewed key
+// distribution an idle shard contributes no decisions and must not
+// drag the reported wait toward zero. Returns 0 before any decision.
 func (s *Sharded) MeanQueueDelay() sim.Time {
-	var sum sim.Time
+	var totalWait sim.Time
+	var grants uint64
 	for _, sh := range s.shards {
-		sum += sh.Stats().MeanWait
+		st := sh.Stats()
+		totalWait += st.MeanWait * sim.Time(st.Grants)
+		grants += st.Grants
 	}
-	return sum / sim.Time(len(s.shards))
+	if grants == 0 {
+		return 0
+	}
+	return totalWait / sim.Time(grants)
 }
 
 // CapacityDecisionsPerS returns the aggregate decision throughput.

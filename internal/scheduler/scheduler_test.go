@@ -142,3 +142,30 @@ func TestCentralizedBottleneckRelievedBySharding(t *testing.T) {
 		t.Fatalf("sharding did not relieve bottleneck: %g vs %g", sharded, saturated)
 	}
 }
+
+// TestMeanQueueDelayWeightsBusyShards is the regression test for the
+// unweighted per-shard average: with every key landing on shard 0
+// (key%2 == 0), the idle shard must not drag the reported decision
+// wait toward zero.
+func TestMeanQueueDelayWeightsBusyShards(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := NewSharded(eng, 2, 0.01)
+	for i := 0; i < 10; i++ {
+		s.Decide(uint64(2*i), nil) // deliberately skewed: all on shard 0
+	}
+	eng.Run()
+	// Shard 0 waits are 0, 10ms, ..., 90ms -> mean 45ms; shard 1 made
+	// no decisions and contributes no weight.
+	got := s.MeanQueueDelay()
+	want := sim.Time(0.045)
+	if got < want*0.999 || got > want*1.001 {
+		t.Fatalf("mean queue delay = %g, want %g (decision-weighted)", got, want)
+	}
+}
+
+func TestMeanQueueDelayZeroDecisions(t *testing.T) {
+	s := NewSharded(sim.NewEngine(1), 4, 0.01)
+	if got := s.MeanQueueDelay(); got != 0 {
+		t.Fatalf("mean queue delay with no decisions = %g, want 0", got)
+	}
+}

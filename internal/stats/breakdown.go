@@ -48,6 +48,27 @@ func (b *Breakdown) Record(parts map[Stage]float64) {
 	b.total.Add(total)
 }
 
+// Merge folds another breakdown's observations into this one (used to
+// aggregate per-gateway breakdowns across a replicated live fleet).
+func (b *Breakdown) Merge(o *Breakdown) {
+	if o == nil {
+		return
+	}
+	for _, st := range AllStages {
+		vs := o.Stage(st).Values()
+		if len(vs) == 0 {
+			continue
+		}
+		s, ok := b.stages[st]
+		if !ok {
+			s = &Sample{}
+			b.stages[st] = s
+		}
+		s.AddAll(vs...)
+	}
+	b.total.AddAll(o.total.Values()...)
+}
+
 // N returns the number of recorded tasks.
 func (b *Breakdown) N() int { return b.total.N() }
 

@@ -1,6 +1,10 @@
 package stats
 
-import "math"
+import (
+	"fmt"
+	"math"
+	"sort"
+)
 
 // Meter accumulates a quantity (bytes, tasks, joules) into fixed-width
 // time buckets, producing the rate time-series behind the paper's
@@ -64,14 +68,21 @@ func (m *Meter) Rates() []float64 {
 
 // RateSample returns the bucket rates as a Sample, for percentile
 // queries (e.g. p99 bandwidth in Fig. 14b). Buckets after `until`
-// seconds are ignored if until > 0.
+// seconds are ignored if until > 0; the bucket straddling `until` is
+// divided by the covered interval only, not the full bucket width, so
+// a run ending mid-bucket does not deflate its tail rate.
 func (m *Meter) RateSample(until float64) *Sample {
 	s := &Sample{}
 	for i, v := range m.buckets {
-		if until > 0 && float64(i)*m.bucket >= until {
+		lo := float64(i) * m.bucket
+		if until > 0 && lo >= until {
 			break
 		}
-		s.Add(v / m.bucket)
+		width := m.bucket
+		if until > 0 && lo+width > until {
+			width = until - lo
+		}
+		s.Add(v / width)
 	}
 	return s
 }
@@ -96,8 +107,13 @@ type Gauge struct {
 // NewGauge returns a gauge at level zero.
 func NewGauge() *Gauge { return &Gauge{} }
 
-// Set records the level v at time t. Times must be non-decreasing.
+// Set records the level v at time t. Times must be non-decreasing: a
+// regression would silently corrupt At/TimeAverage (both assume sorted
+// times), so it panics instead.
 func (g *Gauge) Set(t, v float64) {
+	if n := len(g.times); n > 0 && t < g.times[n-1] {
+		panic(fmt.Sprintf("stats: gauge time regression: %g after %g", t, g.times[n-1]))
+	}
 	g.times = append(g.times, t)
 	g.values = append(g.values, v)
 	g.cur = v
@@ -115,16 +131,15 @@ func (g *Gauge) Current() float64 { return g.cur }
 // Max returns the highest level ever recorded.
 func (g *Gauge) Max() float64 { return g.max }
 
-// At returns the level in effect at time t (0 before the first sample).
+// At returns the level in effect at time t (0 before the first
+// sample). Binary search over the non-decreasing times keeps At inside
+// a resampling loop at O(log n) per query instead of O(n).
 func (g *Gauge) At(t float64) float64 {
-	v := 0.0
-	for i, ts := range g.times {
-		if ts > t {
-			break
-		}
-		v = g.values[i]
+	idx := sort.Search(len(g.times), func(i int) bool { return g.times[i] > t })
+	if idx == 0 {
+		return 0
 	}
-	return v
+	return g.values[idx-1]
 }
 
 // Series resamples the gauge at the given interval over [0, until),

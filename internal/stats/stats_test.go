@@ -317,3 +317,86 @@ func contains(s, sub string) bool {
 		return false
 	})()
 }
+
+// TestMeterRateSampleClipsTrailingPartialBucket is the regression test
+// for the Fig. 14b tail-rate bias: the bucket straddling `until` used
+// to be divided by the full bucket width rather than the covered
+// interval, deflating the rate of a run that ends mid-bucket.
+func TestMeterRateSampleClipsTrailingPartialBucket(t *testing.T) {
+	m := NewMeter(1.0)
+	m.Add(0.5, 1)
+	m.Add(2.1, 1) // bucket [2,3); the query window ends at 2.5
+	s := m.RateSample(2.5)
+	if s.N() != 3 {
+		t.Fatalf("n = %d, want 3", s.N())
+	}
+	// The trailing bucket covers only [2, 2.5): rate = 1/0.5 = 2.
+	if got := s.Max(); !almostEqual(got, 2, 1e-9) {
+		t.Fatalf("trailing bucket rate = %g, want 2 (clipped to covered interval)", got)
+	}
+	// A window on a bucket boundary and the unbounded query keep the
+	// full-width divisor.
+	if got := m.RateSample(2).Max(); !almostEqual(got, 1, 1e-9) {
+		t.Fatalf("boundary window max = %g, want 1", got)
+	}
+	if got := m.RateSample(0).Max(); !almostEqual(got, 1, 1e-9) {
+		t.Fatalf("unbounded max = %g, want 1", got)
+	}
+}
+
+// TestGaugeAtMatchesLinearReference pins the sort.Search rewrite of At
+// to the original linear-scan semantics, duplicates included.
+func TestGaugeAtMatchesLinearReference(t *testing.T) {
+	g := NewGauge()
+	times := []float64{0, 0.5, 0.5, 1.25, 3, 3, 7}
+	for i, ts := range times {
+		g.Set(ts, float64(i+1))
+	}
+	ref := func(q float64) float64 {
+		v := 0.0
+		for i, ts := range times {
+			if ts > q {
+				break
+			}
+			v = float64(i + 1)
+		}
+		return v
+	}
+	for _, q := range []float64{-1, 0, 0.25, 0.5, 1, 1.25, 2, 3, 5, 7, 9} {
+		if g.At(q) != ref(q) {
+			t.Fatalf("At(%g) = %g, want %g", q, g.At(q), ref(q))
+		}
+	}
+}
+
+// TestGaugeSetRejectsTimeRegression is the regression test for Set
+// silently corrupting At/TimeAverage: an out-of-order sample must
+// panic instead of breaking the sorted-times invariant.
+func TestGaugeSetRejectsTimeRegression(t *testing.T) {
+	g := NewGauge()
+	g.Set(2, 1)
+	g.Set(2, 3) // equal times stay legal
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on gauge time regression")
+		}
+	}()
+	g.Set(1, 5)
+}
+
+func TestBreakdownMerge(t *testing.T) {
+	a, b := NewBreakdown(), NewBreakdown()
+	a.Record(map[Stage]float64{StageNetwork: 1, StageExecution: 3})
+	b.Record(map[Stage]float64{StageNetwork: 2, StageDataIO: 4})
+	a.Merge(b)
+	a.Merge(nil)
+	if a.N() != 2 {
+		t.Fatalf("merged n = %d, want 2", a.N())
+	}
+	if got := a.Stage(StageNetwork).Sum(); got != 3 {
+		t.Fatalf("network sum = %g, want 3", got)
+	}
+	if got := a.Total().Sum(); got != 10 {
+		t.Fatalf("total sum = %g, want 10", got)
+	}
+}

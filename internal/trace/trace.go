@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"sync"
 )
 
@@ -167,6 +168,7 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	copy(spans, r.spans)
 	instants := make([]Instant, len(r.instants))
 	copy(instants, r.instants)
+	dropped, droppedInstants := r.dropped, r.droppedInstants
 	r.mu.Unlock()
 
 	trackIDs := map[string]int{}
@@ -225,6 +227,29 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 			ev.TID = 0
 		}
 		events = append(events, ev)
+	}
+	// Account for retention-limit drops in-band, so a truncated trace is
+	// distinguishable from a complete one. Emitted only when something
+	// was actually dropped: complete traces keep their exact shape.
+	if dropped > 0 || droppedInstants > 0 {
+		var last float64
+		for _, s := range spans {
+			if us := s.EndS * 1e6; us > last {
+				last = us
+			}
+		}
+		for _, i := range instants {
+			if us := i.AtS * 1e6; us > last {
+				last = us
+			}
+		}
+		events = append(events, chromeEvent{
+			Name: "trace truncated", Phase: "i", TsUS: last, PID: 1, TID: 0, Scope: "g",
+			Args: map[string]string{
+				"dropped_spans":    strconv.Itoa(dropped),
+				"dropped_instants": strconv.Itoa(droppedInstants),
+			},
+		})
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(events)

@@ -111,6 +111,54 @@ func TestChromeTraceExport(t *testing.T) {
 	}
 }
 
+// TestChromeTraceGolden pins the exact serialised output: metadata
+// lanes in sorted track order with stable ids, span/instant field
+// layout, track-less instants on TID 0, and the in-band truncation
+// marker with dropped-span/instant accounting. Any format drift —
+// intentional or not — shows up as a byte diff here.
+func TestChromeTraceGolden(t *testing.T) {
+	r := NewRecorder(2)
+	// Tracks arrive in non-sorted order; lanes must still come out sorted.
+	r.Add(Span{Name: "exec", Category: "execution", Track: "runtime",
+		StartS: 0.5, EndS: 1.5, Args: map[string]string{"trace": "t-1"}})
+	r.Add(Span{Name: "serve", Category: "network", Track: "gateway", StartS: 0, EndS: 2})
+	r.Add(Span{Name: "over", Track: "gateway", StartS: 2, EndS: 3}) // beyond limit: dropped
+	r.Mark(Instant{Name: "failover", AtS: 1.25, Global: true})      // track-less: TID 0
+	r.Mark(Instant{Name: "elected", Track: "ctrl", AtS: 0.25})
+	r.Mark(Instant{Name: "late", AtS: 9}) // beyond limit: dropped
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `[{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":1,"args":{"name":"ctrl"}},` +
+		`{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":2,"args":{"name":"gateway"}},` +
+		`{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":3,"args":{"name":"runtime"}},` +
+		`{"name":"exec","cat":"execution","ph":"X","ts":500000,"dur":1000000,"pid":1,"tid":3,"args":{"trace":"t-1"}},` +
+		`{"name":"serve","cat":"network","ph":"X","ts":0,"dur":2000000,"pid":1,"tid":2},` +
+		`{"name":"failover","ph":"i","ts":1250000,"pid":1,"tid":0,"s":"g"},` +
+		`{"name":"elected","ph":"i","ts":250000,"pid":1,"tid":1,"s":"t"},` +
+		`{"name":"trace truncated","ph":"i","ts":2000000,"pid":1,"tid":0,"s":"g",` +
+		`"args":{"dropped_instants":"1","dropped_spans":"1"}}]` + "\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("golden mismatch:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// A complete trace must not carry the truncation marker: the golden
+// shape of the pre-existing export is dropped-accounting free.
+func TestChromeTraceNoTruncationMarkerWhenComplete(t *testing.T) {
+	r := NewRecorder(0)
+	r.Add(Span{Name: "s", Track: "t", StartS: 0, EndS: 1})
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "trace truncated") {
+		t.Fatalf("complete trace carries truncation marker: %s", buf.String())
+	}
+}
+
 func TestSummary(t *testing.T) {
 	r := NewRecorder(0)
 	r.Add(Span{Name: "a", Category: "network", Track: "t", StartS: 0, EndS: 2})
