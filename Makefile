@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race chaos live-smoke bench bench-all sweep examples fmt vet clean
+.PHONY: all build test race race-eval chaos live-smoke bench bench-eval bench-all sweep sweep-parity examples fmt vet clean
 
 all: build vet test
 
@@ -14,6 +14,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Focused race lane for the parallel evaluation pipeline: the runner
+# fans experiments and sweep points across goroutines, so these two
+# packages get a dedicated -count=1 pass (no cached results).
+race-eval:
+	$(GO) test -race -count=1 ./internal/experiments/ ./internal/synth/
 
 # Fault-injection suite: every chaos test seeds its injectors and RNGs
 # (fixed seeds baked into the tests), so this run is deterministic.
@@ -39,6 +45,21 @@ bench:
 	$(GO) run ./cmd/hivemind-benchjson -in bench_rpc.out -out BENCH_rpc.json -label $(BENCH_LABEL)
 	rm -f bench_rpc.out
 
+# Evaluation-pipeline benchmarks: quick-sweep wall clock plus the
+# synthesis-explorer and DES hot-loop micro-benchmarks, recorded as
+# JSON under BENCH_LABEL (default "post"). Existing labels in
+# BENCH_eval.json are preserved, so the committed "pre" baseline
+# survives re-runs.
+bench-eval:
+	$(GO) test -run '^$$' -bench '^BenchmarkQuickSweep$$' -benchtime 1x -count=1 \
+		./internal/experiments/ > bench_eval.out
+	$(GO) test -run '^$$' -bench '^(BenchmarkExplore|BenchmarkExploreWide|BenchmarkEnumerate)$$' \
+		-benchmem -count=1 ./internal/synth/ >> bench_eval.out
+	$(GO) test -run '^$$' -bench '^BenchmarkRunUntil$$' -benchmem -count=1 \
+		./internal/sim/ >> bench_eval.out
+	$(GO) run ./cmd/hivemind-benchjson -in bench_eval.out -out BENCH_eval.json -label $(BENCH_LABEL)
+	rm -f bench_eval.out
+
 # Every benchmark in the repo, human-readable.
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
@@ -46,6 +67,15 @@ bench-all:
 # Full paper-scale evaluation (writes the EXPERIMENTS.md data).
 sweep:
 	$(GO) run ./cmd/hivemind-bench -out full_report.txt
+
+# Parity gate: a parallel quick sweep must produce byte-identical
+# reports to a serial one at the same seed. cmp failing fails the build.
+sweep-parity:
+	$(GO) build -o hivemind-bench.parity ./cmd/hivemind-bench
+	./hivemind-bench.parity -quick -parallel 1 -out report_serial.txt > /dev/null
+	./hivemind-bench.parity -quick -parallel 0 -out report_parallel.txt > /dev/null
+	cmp report_serial.txt report_parallel.txt
+	rm -f hivemind-bench.parity report_serial.txt report_parallel.txt
 
 examples:
 	$(GO) run ./examples/quickstart

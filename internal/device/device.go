@@ -193,7 +193,7 @@ func (d *Device) RunTask(execS float64, done func(TaskOutcome)) {
 	}
 	d.queued++
 	enq := d.eng.Now()
-	d.cpu.Acquire(func() {
+	d.cpu.Grab(func() {
 		start := d.eng.Now()
 		if d.failed {
 			d.queued--
@@ -203,7 +203,7 @@ func (d *Device) RunTask(execS float64, done func(TaskOutcome)) {
 		}
 		d.integ.Advance(start)
 		d.integ.CPUBusy = true
-		d.eng.After(execS, func() {
+		d.eng.Defer(execS, func() {
 			d.integ.Advance(d.eng.Now())
 			d.queued--
 			d.cpu.Release() // may synchronously start the next queued task

@@ -39,19 +39,73 @@ func suite(cfg RunConfig) []apps.Profile {
 	return out
 }
 
-// runJobOn builds a fresh system of the kind and runs the job.
-func runJobOn(kind platform.SystemKind, p apps.Profile, cfg RunConfig, devices int) platform.JobResult {
-	sys := platform.NewSystem(platform.Preset(kind, devices, cfg.Seed))
-	return sys.RunJob(p, jobDuration(cfg))
+// jobKey identifies one standard job run for the memoized cache; it
+// covers every input runJobOn feeds the simulation (profiles come from
+// the canonical apps registry, so the ID stands in for the profile).
+type jobKey struct {
+	kind    platform.SystemKind
+	app     apps.ID
+	seed    int64
+	quick   bool
+	devices int
 }
 
-// runScenarioOn runs a mission on a fresh system of the kind.
-func runScenarioOn(kind scenario.Kind, sysKind platform.SystemKind, cfg RunConfig, devices int) scenario.Result {
-	sc := scenario.DefaultConfig(kind, platform.Preset(sysKind, devices, cfg.Seed))
-	if cfg.Quick {
-		sc.MaxDurationS = 200
+// scenKey identifies one standard mission run for the memoized cache.
+type scenKey struct {
+	scen    scenario.Kind
+	sys     platform.SystemKind
+	seed    int64
+	quick   bool
+	devices int
+}
+
+// runJobOn builds a fresh system of the kind and runs the job. Within
+// one run, identical invocations (several figures measure the same
+// system×job point) are simulated once and shared: runs are
+// deterministic per seed, so the cached result is exactly what a fresh
+// simulation would produce. Samples are frozen before publication so
+// concurrent readers are safe.
+func runJobOn(kind platform.SystemKind, p apps.Profile, cfg RunConfig, devices int) platform.JobResult {
+	compute := func() platform.JobResult {
+		sys := platform.NewSystem(platform.Preset(kind, devices, cfg.Seed))
+		res := sys.RunJob(p, jobDuration(cfg))
+		if res.Latency != nil {
+			res.Latency.Freeze()
+		}
+		if res.Breakdown != nil {
+			res.Breakdown.Freeze()
+		}
+		return res
 	}
-	return scenario.Run(kind, sc)
+	if cfg.exec == nil {
+		return compute()
+	}
+	key := jobKey{kind: kind, app: p.ID, seed: cfg.Seed, quick: cfg.Quick, devices: devices}
+	return memoized(&cfg.exec.jobs, key, compute)
+}
+
+// runScenarioOn runs a mission on a fresh system of the kind, memoized
+// like runJobOn.
+func runScenarioOn(kind scenario.Kind, sysKind platform.SystemKind, cfg RunConfig, devices int) scenario.Result {
+	compute := func() scenario.Result {
+		sc := scenario.DefaultConfig(kind, platform.Preset(sysKind, devices, cfg.Seed))
+		if cfg.Quick {
+			sc.MaxDurationS = 200
+		}
+		res := scenario.Run(kind, sc)
+		if res.TaskLatency != nil {
+			res.TaskLatency.Freeze()
+		}
+		if res.Breakdown != nil {
+			res.Breakdown.Freeze()
+		}
+		return res
+	}
+	if cfg.exec == nil {
+		return compute()
+	}
+	key := scenKey{scen: kind, sys: sysKind, seed: cfg.Seed, quick: cfg.Quick, devices: devices}
+	return memoized(&cfg.exec.scenarios, key, compute)
 }
 
 // defaultDevices is the paper's drone-swarm size.

@@ -21,6 +21,16 @@ type RunConfig struct {
 	// Quick shrinks durations/sweeps for tests and CI; full mode uses
 	// paper-scale parameters.
 	Quick bool
+	// Parallelism bounds how many simulations run at once: 0 means
+	// GOMAXPROCS, 1 forces a fully serial sweep. Reports are
+	// byte-identical at every setting for the same seed — parallel runs
+	// merge results in deterministic order.
+	Parallelism int
+
+	// exec carries the run-wide worker pool and memoized run cache; it
+	// is installed by RunAll (or lazily by Experiment.Run) so every
+	// driver in one run shares them.
+	exec *executor
 }
 
 // Report is an experiment's output.
@@ -85,7 +95,11 @@ type Experiment struct {
 var registry []Experiment
 
 func register(id, title string, run func(RunConfig) *Report) {
-	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+	registry = append(registry, Experiment{ID: id, Title: title, Run: func(cfg RunConfig) *Report {
+		// A directly-run experiment gets its own pool and cache; under
+		// RunAll the shared executor arrives through cfg.
+		return run(cfg.withExec())
+	}})
 }
 
 // All returns every experiment in figure order.

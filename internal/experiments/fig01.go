@@ -29,33 +29,40 @@ func fig01(cfg RunConfig) *Report {
 		platform.CentralizedIaaS, platform.CentralizedFaaS,
 		platform.DistributedEdge, platform.HiveMind,
 	}
-	for _, scale := range []struct {
+	scales := []struct {
 		label   string
 		devices int
 	}{
 		{"real-16", defaultDevices},
 		{"sim-large", bigSwarm},
-	} {
+	}
+	// Every scale×system point is an independent mission: fan them out,
+	// then render the tables serially in the fixed order.
+	runs := mapPar(cfg, len(scales)*len(kinds), func(i int) scenario.Result {
+		scale, k := scales[i/len(kinds)], kinds[i%len(kinds)]
+		opts := platform.Preset(k, scale.devices, cfg.Seed)
+		if scale.devices > defaultDevices {
+			f := float64(scale.devices) / defaultDevices
+			opts.WirelessScale = f
+			opts.ClusterCf.Servers = int(float64(opts.ClusterCf.Servers) * f)
+			// Larger swarms survey a proportionally larger field, so
+			// per-device sweep work stays comparable to the testbed.
+			opts.FieldM = 120 * math.Sqrt(f)
+		}
+		sc := scenario.DefaultConfig(scenario.ScenarioA, opts)
+		if cfg.Quick {
+			sc.MaxDurationS = 200
+		}
+		if scale.devices > defaultDevices {
+			sc.Items = scale.devices // item density scales with swarm area coverage
+		}
+		return scenario.Run(scenario.ScenarioA, sc)
+	})
+	for si, scale := range scales {
 		tb := stats.NewTable("Fig. 1 ("+scale.label+"): Scenario A",
 			"system", "exec_time_s", "completed", "battery_mean_%", "battery_max_%", "bw_MBps")
-		for _, k := range kinds {
-			opts := platform.Preset(k, scale.devices, cfg.Seed)
-			if scale.devices > defaultDevices {
-				f := float64(scale.devices) / defaultDevices
-				opts.WirelessScale = f
-				opts.ClusterCf.Servers = int(float64(opts.ClusterCf.Servers) * f)
-				// Larger swarms survey a proportionally larger field, so
-				// per-device sweep work stays comparable to the testbed.
-				opts.FieldM = 120 * math.Sqrt(f)
-			}
-			sc := scenario.DefaultConfig(scenario.ScenarioA, opts)
-			if cfg.Quick {
-				sc.MaxDurationS = 200
-			}
-			if scale.devices > defaultDevices {
-				sc.Items = scale.devices // item density scales with swarm area coverage
-			}
-			r := scenario.Run(scenario.ScenarioA, sc)
+		for ki, k := range kinds {
+			r := runs[si*len(kinds)+ki]
 			tb.AddRow(k.String(), r.CompletionS, r.Completed, r.BatteryMean*100, r.BatteryMax*100, r.BWMeanMBps)
 			rep.SetValue("exec_"+scale.label+"_"+k.String(), r.CompletionS)
 			rep.SetValue("battery_"+scale.label+"_"+k.String(), r.BatteryMean)

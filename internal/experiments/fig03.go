@@ -37,13 +37,19 @@ func fig03a(cfg RunConfig) *Report {
 		netFracs = append(netFracs, n50)
 	}
 
-	for _, p := range suite(cfg) {
-		res := runJobOn(platform.CentralizedFaaS, p, cfg, defaultDevices)
-		record(string(p.ID), res.Breakdown)
+	ps := suite(cfg)
+	scens := []scenario.Kind{scenario.ScenarioA, scenario.ScenarioB}
+	jobRes := mapPar(cfg, len(ps), func(i int) platform.JobResult {
+		return runJobOn(platform.CentralizedFaaS, ps[i], cfg, defaultDevices)
+	})
+	scenRes := mapPar(cfg, len(scens), func(i int) scenario.Result {
+		return runScenarioOn(scens[i], platform.CentralizedFaaS, cfg, defaultDevices)
+	})
+	for i, p := range ps {
+		record(string(p.ID), jobRes[i].Breakdown)
 	}
-	for _, k := range []scenario.Kind{scenario.ScenarioA, scenario.ScenarioB} {
-		r := runScenarioOn(k, platform.CentralizedFaaS, cfg, defaultDevices)
-		record(k.String(), r.Breakdown)
+	for i, k := range scens {
+		record(k.String(), scenRes[i].Breakdown)
 	}
 	rep.Tables = append(rep.Tables, tb)
 
@@ -73,18 +79,22 @@ func fig03b(cfg RunConfig) *Report {
 	}
 	duration := jobDuration(cfg)
 
-	for _, frameMB := range frames {
-		for _, n := range droneCounts {
-			// Per-frame recognition: 8 fps per drone, each frame its own
-			// task (per-frame share of the S1 batch compute).
-			prof := apps.Profile{
-				ID: "S1", Name: "Face Recognition per-frame",
-				CloudExecS: 0.1, EdgeExecS: 0.45, Parallelism: 2,
-				InputMB: frameMB, OutputMB: 0.01, IntermediateMB: frameMB / 8,
-				TaskRatePerDevice: 8, MemGB: 2, ExecCV: 0.15,
-			}
-			sys := platform.NewSystem(platform.Preset(platform.CentralizedFaaS, n, cfg.Seed))
-			res := sys.RunJob(prof, duration)
+	runs := mapPar(cfg, len(frames)*len(droneCounts), func(i int) platform.JobResult {
+		frameMB, n := frames[i/len(droneCounts)], droneCounts[i%len(droneCounts)]
+		// Per-frame recognition: 8 fps per drone, each frame its own
+		// task (per-frame share of the S1 batch compute).
+		prof := apps.Profile{
+			ID: "S1", Name: "Face Recognition per-frame",
+			CloudExecS: 0.1, EdgeExecS: 0.45, Parallelism: 2,
+			InputMB: frameMB, OutputMB: 0.01, IntermediateMB: frameMB / 8,
+			TaskRatePerDevice: 8, MemGB: 2, ExecCV: 0.15,
+		}
+		sys := platform.NewSystem(platform.Preset(platform.CentralizedFaaS, n, cfg.Seed))
+		return sys.RunJob(prof, duration)
+	})
+	for fi, frameMB := range frames {
+		for ni, n := range droneCounts {
+			res := runs[fi*len(droneCounts)+ni]
 			p99 := res.Latency.Percentile(99)
 			tb.AddRow(frameMB, n, res.BWMeanMBps, p99)
 			rep.SetValue(key3b(frameMB, n, "bw"), res.BWMeanMBps)

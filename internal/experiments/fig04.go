@@ -26,9 +26,16 @@ func fig04(cfg RunConfig) *Report {
 	tb := stats.NewTable("Fig. 4a: task latency (s)",
 		"job", "system", "p25", "p50", "p75", "p99", "cv")
 	wins := map[string]int{}
-	for _, p := range suite(cfg) {
-		cen := runJobOn(platform.CentralizedFaaS, p, cfg, defaultDevices)
-		dist := runJobOn(platform.DistributedEdge, p, cfg, defaultDevices)
+	ps := suite(cfg)
+	type pair struct{ cen, dist platform.JobResult }
+	pairs := mapPar(cfg, len(ps), func(i int) pair {
+		return pair{
+			cen:  runJobOn(platform.CentralizedFaaS, ps[i], cfg, defaultDevices),
+			dist: runJobOn(platform.DistributedEdge, ps[i], cfg, defaultDevices),
+		}
+	})
+	for i, p := range ps {
+		cen, dist := pairs[i].cen, pairs[i].dist
 		latencyRow(tb, string(p.ID), "centralized", cen.Latency)
 		latencyRow(tb, string(p.ID), "distributed", dist.Latency)
 		rep.SetValue("cen_p50_"+string(p.ID), cen.Latency.Median())
@@ -43,9 +50,14 @@ func fig04(cfg RunConfig) *Report {
 
 	tb2 := stats.NewTable("Fig. 4b: scenario job latency (s)",
 		"scenario", "system", "completion_s", "completed")
-	for _, k := range []scenario.Kind{scenario.ScenarioA, scenario.ScenarioB} {
-		for _, sk := range []platform.SystemKind{platform.CentralizedFaaS, platform.DistributedEdge} {
-			r := runScenarioOn(k, sk, cfg, defaultDevices)
+	scens := []scenario.Kind{scenario.ScenarioA, scenario.ScenarioB}
+	sysKinds := []platform.SystemKind{platform.CentralizedFaaS, platform.DistributedEdge}
+	scenRes := mapPar(cfg, len(scens)*len(sysKinds), func(i int) scenario.Result {
+		return runScenarioOn(scens[i/len(sysKinds)], sysKinds[i%len(sysKinds)], cfg, defaultDevices)
+	})
+	for ki, k := range scens {
+		for si, sk := range sysKinds {
+			r := scenRes[ki*len(sysKinds)+si]
 			tb2.AddRow(k.String(), sk.String(), r.CompletionS, r.Completed)
 			rep.SetValue("scen_"+k.String()+"_"+sk.String(), r.CompletionS)
 		}
@@ -64,10 +76,17 @@ func fig11(cfg RunConfig) *Report {
 	tb := stats.NewTable("Fig. 11: task latency (s)",
 		"job", "system", "p25", "p50", "p75", "p99", "cv")
 	var speedups []float64
-	for _, p := range suite(cfg) {
-		cen := runJobOn(platform.CentralizedFaaS, p, cfg, defaultDevices)
-		dist := runJobOn(platform.DistributedEdge, p, cfg, defaultDevices)
-		hm := runJobOn(platform.HiveMind, p, cfg, defaultDevices)
+	ps := suite(cfg)
+	type triple struct{ cen, dist, hm platform.JobResult }
+	triples := mapPar(cfg, len(ps), func(i int) triple {
+		return triple{
+			cen:  runJobOn(platform.CentralizedFaaS, ps[i], cfg, defaultDevices),
+			dist: runJobOn(platform.DistributedEdge, ps[i], cfg, defaultDevices),
+			hm:   runJobOn(platform.HiveMind, ps[i], cfg, defaultDevices),
+		}
+	})
+	for i, p := range ps {
+		cen, dist, hm := triples[i].cen, triples[i].dist, triples[i].hm
 		latencyRow(tb, string(p.ID), "centralized", cen.Latency)
 		latencyRow(tb, string(p.ID), "distributed", dist.Latency)
 		latencyRow(tb, string(p.ID), "hivemind", hm.Latency)
@@ -81,9 +100,14 @@ func fig11(cfg RunConfig) *Report {
 
 	tb2 := stats.NewTable("Fig. 11b: scenario job latency (s)",
 		"scenario", "system", "completion_s", "completed")
-	for _, k := range []scenario.Kind{scenario.ScenarioA, scenario.ScenarioB} {
-		for _, sk := range []platform.SystemKind{platform.CentralizedFaaS, platform.DistributedEdge, platform.HiveMind} {
-			r := runScenarioOn(k, sk, cfg, defaultDevices)
+	scens := []scenario.Kind{scenario.ScenarioA, scenario.ScenarioB}
+	sysKinds := []platform.SystemKind{platform.CentralizedFaaS, platform.DistributedEdge, platform.HiveMind}
+	scenRes := mapPar(cfg, len(scens)*len(sysKinds), func(i int) scenario.Result {
+		return runScenarioOn(scens[i/len(sysKinds)], sysKinds[i%len(sysKinds)], cfg, defaultDevices)
+	})
+	for ki, k := range scens {
+		for si, sk := range sysKinds {
+			r := scenRes[ki*len(sysKinds)+si]
 			tb2.AddRow(k.String(), sk.String(), r.CompletionS, r.Completed)
 		}
 	}
@@ -123,11 +147,17 @@ func fig12(cfg RunConfig) *Report {
 		rep.SetValue(system+"_dataio_"+job, d)
 		rep.SetValue(system+"_mgmt_"+job, m)
 	}
-	for _, p := range suite(cfg) {
-		cen := runJobOn(platform.CentralizedFaaS, p, cfg, defaultDevices)
-		hm := runJobOn(platform.HiveMind, p, cfg, defaultDevices)
-		add(string(p.ID), "centralized", cen.Breakdown, &cenNet)
-		add(string(p.ID), "hivemind", hm.Breakdown, &hmNet)
+	ps := suite(cfg)
+	type pair struct{ cen, hm platform.JobResult }
+	pairs := mapPar(cfg, len(ps), func(i int) pair {
+		return pair{
+			cen: runJobOn(platform.CentralizedFaaS, ps[i], cfg, defaultDevices),
+			hm:  runJobOn(platform.HiveMind, ps[i], cfg, defaultDevices),
+		}
+	})
+	for i, p := range ps {
+		add(string(p.ID), "centralized", pairs[i].cen.Breakdown, &cenNet)
+		add(string(p.ID), "hivemind", pairs[i].hm.Breakdown, &hmNet)
 	}
 	rep.Tables = append(rep.Tables, tb)
 

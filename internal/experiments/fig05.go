@@ -29,11 +29,17 @@ func fig05a(cfg RunConfig) *Report {
 		"job", "fixed_p50", "serverless_p50", "serverless_par_p50", "fixed_p95", "sls_p95", "sls_par_p95")
 
 	duration := jobDuration(cfg)
-	for _, p := range suite(cfg) {
-		fixed := poissonCloudJob(cfg, p, duration, true, 1)
-		noPar := poissonCloudJob(cfg, p, duration, false, 1)
-		withPar := poissonCloudJob(cfg, p, duration, false, p.Parallelism)
-
+	ps := suite(cfg)
+	type triple struct{ fixed, noPar, withPar *stats.Sample }
+	triples := mapPar(cfg, len(ps), func(i int) triple {
+		return triple{
+			fixed:   poissonCloudJob(cfg, ps[i], duration, true, 1),
+			noPar:   poissonCloudJob(cfg, ps[i], duration, false, 1),
+			withPar: poissonCloudJob(cfg, ps[i], duration, false, ps[i].Parallelism),
+		}
+	})
+	for i, p := range ps {
+		fixed, noPar, withPar := triples[i].fixed, triples[i].noPar, triples[i].withPar
 		tb.AddRow(string(p.ID),
 			fixed.Median(), noPar.Median(), withPar.Median(),
 			fixed.Percentile(95), noPar.Percentile(95), withPar.Percentile(95))
@@ -162,8 +168,11 @@ func fig05b(cfg RunConfig) *Report {
 
 	tb := stats.NewTable("Fig. 5b: latency under fluctuating load",
 		"deployment", "cores", "p50_s", "p95_s", "p99_s")
-	for _, d := range deployments {
-		lat := d.run()
+	lats := mapPar(cfg, len(deployments), func(i int) *stats.Sample {
+		return deployments[i].run()
+	})
+	for i, d := range deployments {
+		lat := lats[i]
 		tb.AddRow(d.name, d.cores, lat.Median(), lat.Percentile(95), lat.Percentile(99))
 		rep.SetValue(d.name+"_p95", lat.Percentile(95))
 		rep.SetValue(d.name+"_p50", lat.Median())
@@ -222,12 +231,20 @@ func fig05c(cfg RunConfig) *Report {
 	tb := stats.NewTable("Fig. 5c: task completion under failure injection",
 		"failure_%", "submitted", "completed", "respawns", "peak_active", "p99_s")
 	baselineDone := 0.0
-	for _, frac := range []float64{0, 0.05, 0.10, 0.20} {
+	fracs := []float64{0, 0.05, 0.10, 0.20}
+	type failRun struct {
+		res  platform.JobResult
+		peak float64
+	}
+	runs := mapPar(cfg, len(fracs), func(i int) failRun {
 		opts := platform.Preset(platform.CentralizedFaaS, defaultDevices, cfg.Seed)
-		opts.FaasCfg.FailureProb = frac
+		opts.FaasCfg.FailureProb = fracs[i]
 		sys := platform.NewSystem(opts)
 		res := sys.RunJob(p, duration)
-		peak := sys.Faas.ActiveGauge().Max()
+		return failRun{res: res, peak: sys.Faas.ActiveGauge().Max()}
+	})
+	for i, frac := range fracs {
+		res, peak := runs[i].res, runs[i].peak
 		tb.AddRow(frac*100, res.Submitted, res.Completed, res.Respawns, peak, res.Latency.Percentile(99))
 		key := fmt.Sprintf("done_%.0f", frac*100)
 		rep.SetValue(key, float64(res.Completed))

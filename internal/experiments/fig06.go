@@ -21,10 +21,17 @@ func fig06a(cfg RunConfig) *Report {
 		"job", "reserved_cv", "serverless_cv", "reserved_p95/p50", "serverless_p95/p50")
 	worse := 0
 	total := 0
-	for _, p := range suite(cfg) {
-		res := platform.NewSystem(platform.Preset(platform.CentralizedIaaS, defaultDevices, cfg.Seed)).
-			ReservedJob(p, jobDuration(cfg), 0)
-		sls := runJobOn(platform.CentralizedFaaS, p, cfg, defaultDevices)
+	ps := suite(cfg)
+	type pair struct{ res, sls platform.JobResult }
+	pairs := mapPar(cfg, len(ps), func(i int) pair {
+		return pair{
+			res: platform.NewSystem(platform.Preset(platform.CentralizedIaaS, defaultDevices, cfg.Seed)).
+				ReservedJob(ps[i], jobDuration(cfg), 0),
+			sls: runJobOn(platform.CentralizedFaaS, ps[i], cfg, defaultDevices),
+		}
+	})
+	for i, p := range ps {
+		res, sls := pairs[i].res, pairs[i].sls
 		rSpread := res.Latency.Percentile(95) / res.Latency.Median()
 		sSpread := sls.Latency.Percentile(95) / sls.Latency.Median()
 		tb.AddRow(string(p.ID), res.Latency.CV(), sls.Latency.CV(), rSpread, sSpread)
@@ -53,7 +60,10 @@ func fig06b(cfg RunConfig) *Report {
 		"job", "inst_p50_%", "dataio_p50_%", "exec_p50_%", "inst_p99_%")
 
 	var instFracs []float64
-	for _, p := range suite(cfg) {
+	ps := suite(cfg)
+	type stageSamples struct{ inst, dataio, exec *stats.Sample }
+	samples := mapPar(cfg, len(ps), func(i int) stageSamples {
+		p := ps[i]
 		sys := platform.NewSystem(platform.Preset(platform.CentralizedFaaS, defaultDevices, cfg.Seed))
 		eng := sys.Eng
 		rng := eng.Rand()
@@ -81,6 +91,10 @@ func fig06b(cfg RunConfig) *Report {
 		}
 		eng.RunUntil(duration + 60)
 		sys.Fleet.StopAll()
+		return stageSamples{inst: inst, dataio: dataio, exec: exec}
+	})
+	for i, p := range ps {
+		inst, dataio, exec := samples[i].inst, samples[i].dataio, samples[i].exec
 
 		share := func(pct float64) (i, d, e float64) {
 			ti, td, te := inst.Percentile(pct), dataio.Percentile(pct), exec.Percentile(pct)
@@ -116,37 +130,43 @@ func fig06c(cfg RunConfig) *Report {
 		"job", "couchdb_p50", "rpc_p50", "inmemory_p50", "couchdb_p99")
 
 	protocols := []store.Protocol{store.ProtoCouchDB, store.ProtoDirectRPC, store.ProtoInMemory}
-	for _, p := range suite(cfg) {
+	ps := suite(cfg)
+	lats := mapPar(cfg, len(ps)*len(protocols), func(idx int) *stats.Sample {
+		p, proto := ps[idx/len(protocols)], protocols[idx%len(protocols)]
+		opts := platform.Preset(platform.CentralizedFaaS, defaultDevices, cfg.Seed)
+		opts.FaasCfg.Protocol = proto
+		sys := platform.NewSystem(opts)
+		eng := sys.Eng
+		rng := eng.Rand()
+		lat := &stats.Sample{}
+		duration := jobDuration(cfg)
+		for range sys.Fleet {
+			var submit func()
+			period := 1.0 / p.TaskRatePerDevice
+			submit = func() {
+				if eng.Now() >= duration {
+					return
+				}
+				start := eng.Now()
+				// A dependent-function pair: the child consumes the
+				// parent's intermediate output through the protocol.
+				sys.Faas.Invoke(faas.FunctionSpec{
+					Name: string(p.ID), ExecS: p.CloudExecS, Parallelism: p.Parallelism,
+					MemGB: p.MemGB, ExecCV: p.ExecCV, ParentDataMB: p.InputMB,
+				}, func(r faas.Result) { lat.Add(eng.Now() - start) })
+				eng.After(period*(0.8+0.4*rng.Float64()), submit)
+			}
+			eng.At(rng.Float64()*period, submit)
+		}
+		eng.RunUntil(duration + 60)
+		sys.Fleet.StopAll()
+		return lat
+	})
+	for pi, p := range ps {
 		meds := map[store.Protocol]float64{}
 		var couchP99 float64
-		for _, proto := range protocols {
-			opts := platform.Preset(platform.CentralizedFaaS, defaultDevices, cfg.Seed)
-			opts.FaasCfg.Protocol = proto
-			sys := platform.NewSystem(opts)
-			eng := sys.Eng
-			rng := eng.Rand()
-			lat := &stats.Sample{}
-			duration := jobDuration(cfg)
-			for range sys.Fleet {
-				var submit func()
-				period := 1.0 / p.TaskRatePerDevice
-				submit = func() {
-					if eng.Now() >= duration {
-						return
-					}
-					start := eng.Now()
-					// A dependent-function pair: the child consumes the
-					// parent's intermediate output through the protocol.
-					sys.Faas.Invoke(faas.FunctionSpec{
-						Name: string(p.ID), ExecS: p.CloudExecS, Parallelism: p.Parallelism,
-						MemGB: p.MemGB, ExecCV: p.ExecCV, ParentDataMB: p.InputMB,
-					}, func(r faas.Result) { lat.Add(eng.Now() - start) })
-					eng.After(period*(0.8+0.4*rng.Float64()), submit)
-				}
-				eng.At(rng.Float64()*period, submit)
-			}
-			eng.RunUntil(duration + 60)
-			sys.Fleet.StopAll()
+		for qi, proto := range protocols {
+			lat := lats[pi*len(protocols)+qi]
 			meds[proto] = lat.Median()
 			if proto == store.ProtoCouchDB {
 				couchP99 = lat.Percentile(99)

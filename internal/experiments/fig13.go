@@ -73,9 +73,18 @@ func fig13(cfg RunConfig) *Report {
 	rep := &Report{ID: "fig13", Title: "Component ablation (Fig. 13)"}
 	tb := stats.NewTable("Fig. 13: task latency (s)", "job", "config", "p50", "p99")
 	configs := ablationConfigs(cfg.Seed)
-	for _, p := range suite(cfg) {
-		for _, c := range configs {
-			res := platform.NewSystem(c.opts).RunJob(p, jobDuration(cfg))
+	ps := suite(cfg)
+	// Rebuild the config set inside each point: Options carries shared
+	// pointers (the RPC fabric), so concurrent systems must not reuse
+	// one ablationConfigs slice.
+	runs := mapPar(cfg, len(ps)*len(configs), func(i int) platform.JobResult {
+		p := ps[i/len(configs)]
+		c := ablationConfigs(cfg.Seed)[i%len(configs)]
+		return platform.NewSystem(c.opts).RunJob(p, jobDuration(cfg))
+	})
+	for pi, p := range ps {
+		for ci, c := range configs {
+			res := runs[pi*len(configs)+ci]
 			tb.AddRow(string(p.ID), c.name, res.Latency.Median(), res.Latency.Percentile(99))
 			rep.SetValue(c.name+"_p50_"+string(p.ID), res.Latency.Median())
 		}
@@ -92,17 +101,25 @@ func fig14(cfg RunConfig) *Report {
 	tb := stats.NewTable("Fig. 14: battery (mean %) and bandwidth (MB/s)",
 		"job", "system", "battery_%", "battery_max_%", "bw_MBps", "bw_p99_MBps")
 	kinds := []platform.SystemKind{platform.CentralizedFaaS, platform.DistributedEdge, platform.HiveMind}
-	for _, p := range suite(cfg) {
-		for _, k := range kinds {
-			res := runJobOn(k, p, cfg, defaultDevices)
+	ps := suite(cfg)
+	scens := []scenario.Kind{scenario.ScenarioA, scenario.ScenarioB}
+	jobRes := mapPar(cfg, len(ps)*len(kinds), func(i int) platform.JobResult {
+		return runJobOn(kinds[i%len(kinds)], ps[i/len(kinds)], cfg, defaultDevices)
+	})
+	scenRes := mapPar(cfg, len(scens)*len(kinds), func(i int) scenario.Result {
+		return runScenarioOn(scens[i/len(kinds)], kinds[i%len(kinds)], cfg, defaultDevices)
+	})
+	for pi, p := range ps {
+		for ki, k := range kinds {
+			res := jobRes[pi*len(kinds)+ki]
 			tb.AddRow(string(p.ID), k.String(), res.BatteryMean*100, res.BatteryMax*100, res.BWMeanMBps, res.BWp99MBps)
 			rep.SetValue("battery_"+k.String()+"_"+string(p.ID), res.BatteryMean)
 			rep.SetValue("bw_"+k.String()+"_"+string(p.ID), res.BWMeanMBps)
 		}
 	}
-	for _, sk := range []scenario.Kind{scenario.ScenarioA, scenario.ScenarioB} {
-		for _, k := range kinds {
-			r := runScenarioOn(sk, k, cfg, defaultDevices)
+	for si, sk := range scens {
+		for ki, k := range kinds {
+			r := scenRes[si*len(kinds)+ki]
 			tb.AddRow(sk.String(), k.String(), r.BatteryMean*100, r.BatteryMax*100, r.BWMeanMBps, r.BWp99MBps)
 			rep.SetValue("battery_"+k.String()+"_"+sk.String(), r.BatteryMean)
 			rep.SetValue("bw_"+k.String()+"_"+sk.String(), r.BWMeanMBps)

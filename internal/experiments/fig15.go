@@ -35,9 +35,14 @@ func fig15(cfg RunConfig) *Report {
 			return c
 		}()},
 	}
-	for _, sc := range scenarios {
-		for _, mode := range []learn.Mode{learn.ModeNone, learn.ModeSelf, learn.ModeSwarm} {
-			acc, _ := learn.RunTrial(mode, sc.cfg)
+	modes := []learn.Mode{learn.ModeNone, learn.ModeSelf, learn.ModeSwarm}
+	accs := mapPar(cfg, len(scenarios)*len(modes), func(i int) learn.Accuracy {
+		acc, _ := learn.RunTrial(modes[i%len(modes)], scenarios[i/len(modes)].cfg)
+		return acc
+	})
+	for si, sc := range scenarios {
+		for mi, mode := range modes {
+			acc := accs[si*len(modes)+mi]
 			tb.AddRow(sc.name, mode.String(), acc.Correct*100, acc.FalseNegatives*100, acc.FalsePositives*100)
 			rep.SetValue(sc.name+"_"+mode.String()+"_correct", acc.Correct)
 			rep.SetValue(sc.name+"_"+mode.String()+"_errors", acc.FalseNegatives+acc.FalsePositives)
@@ -55,9 +60,13 @@ func fig16(cfg RunConfig) *Report {
 	tb := stats.NewTable("Fig. 16: rover missions",
 		"mission", "system", "p50_latency_s", "p99_latency_s", "completion_s", "battery_%", "battery_max_%")
 	kinds := []platform.SystemKind{platform.CentralizedFaaS, platform.DistributedEdge, platform.HiveMind}
-	for _, m := range []scenario.Kind{scenario.TreasureHunt, scenario.Maze} {
-		for _, k := range kinds {
-			r := runScenarioOn(m, k, cfg, roverDevices)
+	missions := []scenario.Kind{scenario.TreasureHunt, scenario.Maze}
+	scenRes := mapPar(cfg, len(missions)*len(kinds), func(i int) scenario.Result {
+		return runScenarioOn(missions[i/len(kinds)], kinds[i%len(kinds)], cfg, roverDevices)
+	})
+	for mi, m := range missions {
+		for ki, k := range kinds {
+			r := scenRes[mi*len(kinds)+ki]
 			tb.AddRow(m.String(), k.String(),
 				r.TaskLatency.Median(), r.TaskLatency.Percentile(99),
 				r.CompletionS, r.BatteryMean*100, r.BatteryMax*100)

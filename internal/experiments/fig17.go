@@ -39,7 +39,8 @@ func fig17a(cfg RunConfig) *Report {
 		settings = []struct{ mb, fps float64 }{{0.5, 8}, {2, 8}, {8, 8}, {8, 32}}
 	}
 	capacity := 216.75
-	for _, s := range settings {
+	runs := mapPar(cfg, len(settings), func(i int) platform.JobResult {
+		s := settings[i]
 		opts := platform.Preset(platform.HiveMind, defaultDevices, cfg.Seed)
 		opts.DeviceCfg.FrameMB = s.mb
 		opts.DeviceCfg.FPS = s.fps
@@ -51,8 +52,10 @@ func fig17a(cfg RunConfig) *Report {
 		batchMB := s.mb * s.fps
 		opts.HybridUploadFrac = math.Min(0.45, 7.0/batchMB)
 		opts.PreprocSPerMB = math.Min(0.012, 0.6/batchMB)
-		sys := platform.NewSystem(opts)
-		res := sys.RunJob(scanProfile(s.mb, s.fps), jobDuration(cfg))
+		return platform.NewSystem(opts).RunJob(scanProfile(s.mb, s.fps), jobDuration(cfg))
+	})
+	for i, s := range settings {
+		res := runs[i]
 		tb.AddRow(s.mb, s.fps, res.BWMeanMBps, res.Latency.Percentile(99))
 		rep.SetValue(fmt.Sprintf("bw_%gMB_%gfps", s.mb, s.fps), res.BWMeanMBps)
 		rep.SetValue(fmt.Sprintf("p99_%gMB_%gfps", s.mb, s.fps), res.Latency.Percentile(99))
@@ -78,26 +81,30 @@ func fig17b(cfg RunConfig) *Report {
 	}
 	duration := jobDuration(cfg) / 2
 
-	for _, n := range sizes {
+	sysKinds := []platform.SystemKind{platform.HiveMind, platform.CentralizedFaaS}
+	runs := mapPar(cfg, len(sizes)*len(sysKinds), func(i int) platform.JobResult {
+		n, kind := sizes[i/len(sysKinds)], sysKinds[i%len(sysKinds)]
 		scale := float64(n) / defaultDevices
-		for _, kind := range []platform.SystemKind{platform.HiveMind, platform.CentralizedFaaS} {
-			opts := platform.Preset(kind, n, cfg.Seed)
-			opts.WirelessScale = scale
-			opts.ClusterCf.Servers = int(float64(opts.ClusterCf.Servers) * scale)
-			// The per-user concurrent-function limit scales with the
-			// deployment (a 1000-function cap is an account default, not
-			// a physical bound).
-			opts.FaasCfg.MaxInFlight = int(1000 * scale)
-			if kind == platform.HiveMind {
-				// Placement re-synthesis at scale: with aggregate traffic
-				// growing, the explorer pushes more preprocessing on-board,
-				// shrinking the shipped fraction (§5.6: larger swarms
-				// "accommodate more computation on-board").
-				opts.HybridUploadFrac = 0.45 * math.Pow(1/scale, 0.3)
-				opts.PreprocSPerMB = math.Min(0.035, 0.012*math.Pow(scale, 0.3))
-			}
-			sys := platform.NewSystem(opts)
-			res := sys.RunJob(scanProfile(opts.DeviceCfg.FrameMB, opts.DeviceCfg.FPS), duration)
+		opts := platform.Preset(kind, n, cfg.Seed)
+		opts.WirelessScale = scale
+		opts.ClusterCf.Servers = int(float64(opts.ClusterCf.Servers) * scale)
+		// The per-user concurrent-function limit scales with the
+		// deployment (a 1000-function cap is an account default, not
+		// a physical bound).
+		opts.FaasCfg.MaxInFlight = int(1000 * scale)
+		if kind == platform.HiveMind {
+			// Placement re-synthesis at scale: with aggregate traffic
+			// growing, the explorer pushes more preprocessing on-board,
+			// shrinking the shipped fraction (§5.6: larger swarms
+			// "accommodate more computation on-board").
+			opts.HybridUploadFrac = 0.45 * math.Pow(1/scale, 0.3)
+			opts.PreprocSPerMB = math.Min(0.035, 0.012*math.Pow(scale, 0.3))
+		}
+		return platform.NewSystem(opts).RunJob(scanProfile(opts.DeviceCfg.FrameMB, opts.DeviceCfg.FPS), duration)
+	})
+	for ni, n := range sizes {
+		for ki, kind := range sysKinds {
+			res := runs[ni*len(sysKinds)+ki]
 			tb.AddRow(n, kind.String(), res.BWMeanMBps, res.BWMeanMBps/float64(n), res.Latency.Percentile(99))
 			rep.SetValue(fmt.Sprintf("%s_bw_%d", kind, n), res.BWMeanMBps)
 			rep.SetValue(fmt.Sprintf("%s_p99_%d", kind, n), res.Latency.Percentile(99))

@@ -34,9 +34,13 @@ func fig18(cfg RunConfig) *Report {
 	model.calibrate(calCfg, kinds)
 
 	var devs []float64
-	for _, p := range suite(cfg) {
-		for _, k := range kinds {
-			detailed := runJobOn(k, p, cfg, defaultDevices).Latency.Percentile(99)
+	ps := suite(cfg)
+	detailedP99 := mapPar(cfg, len(ps)*len(kinds), func(i int) float64 {
+		return runJobOn(kinds[i%len(kinds)], ps[i/len(kinds)], cfg, defaultDevices).Latency.Percentile(99)
+	})
+	for pi, p := range ps {
+		for ki, k := range kinds {
+			detailed := detailedP99[pi*len(kinds)+ki]
 			predicted := model.tailLatency(k, p)
 			dev := (predicted - detailed) / detailed * 100
 			tb.AddRow(string(p.ID), k.String(), detailed, predicted, dev)
@@ -81,9 +85,13 @@ func calKey(k platform.SystemKind, id apps.ID) string {
 // the observed p99 and the model's expected latency) on held-out-seed
 // detailed runs.
 func (m *queueModel) calibrate(cfg RunConfig, kinds []platform.SystemKind) {
-	for _, k := range kinds {
-		for _, p := range suite(cfg) {
-			detailed := runJobOn(k, p, cfg, defaultDevices).Latency.Percentile(99)
+	ps := suite(cfg)
+	detailedP99 := mapPar(cfg, len(kinds)*len(ps), func(i int) float64 {
+		return runJobOn(kinds[i/len(ps)], ps[i%len(ps)], cfg, defaultDevices).Latency.Percentile(99)
+	})
+	for ki, k := range kinds {
+		for pi, p := range ps {
+			detailed := detailedP99[ki*len(ps)+pi]
 			base := m.medianLatency(k, p)
 			if base > 0 && detailed > 0 {
 				m.tailFactor[calKey(k, p.ID)] = detailed / base

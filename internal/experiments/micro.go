@@ -46,14 +46,16 @@ func ubenchRPC(cfg RunConfig) *Report {
 func ubenchMonitor(cfg RunConfig) *Report {
 	rep := &Report{ID: "ubench-monitor", Title: "Monitoring overhead (§4.7)"}
 	p, _ := apps.ByID(apps.S1FaceRecognition) // cloud-placed under HiveMind
-	run := func(overhead float64) (p99 float64, throughput float64) {
+	overheads := []float64{0, 0.001}
+	type perf struct{ p99, throughput float64 }
+	runs := mapPar(cfg, len(overheads), func(i int) perf {
 		opts := platform.Preset(platform.HiveMind, defaultDevices, cfg.Seed)
-		opts.FaasCfg.MonitoringOverhead = overhead
+		opts.FaasCfg.MonitoringOverhead = overheads[i]
 		res := platform.NewSystem(opts).RunJob(p, jobDuration(cfg))
-		return res.Latency.Percentile(99), float64(res.Completed) / jobDuration(cfg)
-	}
-	offP99, offThr := run(0)
-	onP99, onThr := run(0.001)
+		return perf{res.Latency.Percentile(99), float64(res.Completed) / jobDuration(cfg)}
+	})
+	offP99, offThr := runs[0].p99, runs[0].throughput
+	onP99, onThr := runs[1].p99, runs[1].throughput
 	tb := stats.NewTable("§4.7: monitoring overhead",
 		"monitoring", "p99_s", "throughput_tps")
 	tb.AddRow("off", offP99, offThr)

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// executor is the shared execution state behind one evaluation run: a
+// bounded worker pool that every fan-out in the run draws from, plus a
+// memoized cache of the standard job/scenario runs. A single executor
+// spans RunAll and all the experiments it drives, so identical runs
+// requested by different figures (fig04, fig11 and fig18 all measure
+// centralized-FaaS S1, for example) are simulated exactly once.
+type executor struct {
+	// slots holds the extra worker tokens. Capacity is parallelism-1:
+	// the goroutine calling fanOut always participates, so a pool of
+	// size N runs at most N points at once. Workers acquire with a
+	// non-blocking receive, which makes nested fan-outs deadlock-free —
+	// when no token is free the caller just runs its points itself.
+	slots     chan struct{}
+	jobs      sync.Map // jobKey -> *memo[platform.JobResult]
+	scenarios sync.Map // scenKey -> *memo[scenario.Result]
+}
+
+func newExecutor(parallelism int) *executor {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	x := &executor{slots: make(chan struct{}, parallelism-1)}
+	for i := 0; i < parallelism-1; i++ {
+		x.slots <- struct{}{}
+	}
+	return x
+}
+
+// withExec returns cfg with the run-wide executor installed, creating
+// one sized by cfg.Parallelism when the config doesn't carry one yet
+// (i.e. this call is the root of a run, not a nested driver).
+func (cfg RunConfig) withExec() RunConfig {
+	if cfg.exec == nil {
+		cfg.exec = newExecutor(cfg.Parallelism)
+	}
+	return cfg
+}
+
+// memo is a singleflight cell: the first caller computes, everyone else
+// blocks on the Once and then reads the settled value.
+type memo[T any] struct {
+	once sync.Once
+	val  T
+}
+
+func memoized[T any](m *sync.Map, key any, compute func() T) T {
+	v, _ := m.LoadOrStore(key, &memo[T]{})
+	entry := v.(*memo[T])
+	entry.once.Do(func() { entry.val = compute() })
+	return entry.val
+}
+
+// fanOut runs fn(0), …, fn(n-1) on the run's worker pool and returns
+// when all have finished. The calling goroutine always works, and extra
+// workers join only while spare pool tokens exist, so total concurrency
+// stays bounded by the configured parallelism no matter how fan-outs
+// nest (experiments over sweep points over chunked estimation).
+//
+// Each index must write only its own state (typically results[i]);
+// under that contract the outcome is identical to the serial loop
+// regardless of scheduling, which is what keeps parallel sweeps
+// byte-identical to -parallel 1 runs.
+func fanOut(cfg RunConfig, n int, fn func(int)) {
+	x := cfg.exec
+	if x == nil || cap(x.slots) == 0 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	for spawned := 0; spawned < n-1; spawned++ {
+		select {
+		case <-x.slots:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { x.slots <- struct{}{} }()
+				work()
+			}()
+			continue
+		default:
+		}
+		break
+	}
+	work()
+	wg.Wait()
+}
+
+// mapPar computes f over 0..n-1 on the run's pool and returns the
+// results in index order — the indexed fan-out drivers use for their
+// independent sweep points.
+func mapPar[T any](cfg RunConfig, n int, f func(int) T) []T {
+	out := make([]T, n)
+	fanOut(cfg, n, func(i int) { out[i] = f(i) })
+	return out
+}
+
+// RunResult pairs an experiment with its report and wall-clock cost.
+type RunResult struct {
+	Experiment Experiment
+	Report     *Report
+	Elapsed    time.Duration
+}
+
+// RunAll executes every registered experiment and returns the results
+// in figure order (the same order All() yields, regardless of which
+// finished first). Experiments and their inner sweep points share one
+// bounded pool of cfg.Parallelism workers (GOMAXPROCS when zero) and
+// one memoized run cache; with Parallelism: 1 the whole sweep runs on
+// the calling goroutine.
+func RunAll(cfg RunConfig) []RunResult {
+	cfg = cfg.withExec()
+	exps := All()
+	out := make([]RunResult, len(exps))
+	fanOut(cfg, len(exps), func(i int) {
+		start := time.Now()
+		rep := exps[i].Run(cfg)
+		out[i] = RunResult{Experiment: exps[i], Report: rep, Elapsed: time.Since(start)}
+	})
+	return out
+}

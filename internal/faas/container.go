@@ -9,13 +9,15 @@ import (
 // Two containers may share a server but never a logical core (§4.3); the
 // core itself is acquired from the server's core resource per execution.
 type container struct {
-	fn        string
-	server    *cluster.Server
-	memGB     float64
-	idleTimer *sim.Timer
-	dead      bool
-	born      sim.Time
-	uses      int
+	fn     string
+	server *cluster.Server
+	memGB  float64
+	// idle is the keep-alive expiry, bound once on the first put and
+	// re-armed allocation-free on every park thereafter.
+	idle *sim.Alarm
+	dead bool
+	born sim.Time
+	uses int
 }
 
 // warmPool tracks idle containers per function name, with keep-alive
@@ -45,9 +47,8 @@ func (w *warmPool) take(fn string) *container {
 		if c.dead {
 			continue
 		}
-		if c.idleTimer != nil {
-			c.idleTimer.Cancel()
-			c.idleTimer = nil
+		if c.idle != nil {
+			c.idle.Stop()
 		}
 		w.idle[fn] = list
 		w.hits++
@@ -69,9 +70,8 @@ func (w *warmPool) takeSpecific(c *container) bool {
 	for i, cand := range list {
 		if cand == c {
 			w.idle[c.fn] = append(list[:i], list[i+1:]...)
-			if c.idleTimer != nil {
-				c.idleTimer.Cancel()
-				c.idleTimer = nil
+			if c.idle != nil {
+				c.idle.Stop()
 			}
 			w.hits++
 			c.uses++
@@ -93,10 +93,13 @@ func (w *warmPool) put(c *container) {
 		return
 	}
 	w.idle[c.fn] = append(w.idle[c.fn], c)
-	c.idleTimer = w.eng.After(w.keepAlive, func() {
-		w.expired++
-		w.kill(c)
-	})
+	if c.idle == nil {
+		c.idle = w.eng.NewAlarm(func() {
+			w.expired++
+			w.kill(c)
+		})
+	}
+	c.idle.Set(w.keepAlive)
 }
 
 func (w *warmPool) kill(c *container) {

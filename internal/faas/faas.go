@@ -337,12 +337,12 @@ func (p *Platform) Invoke(spec FunctionSpec, done func(Result)) {
 	seq := uint64(p.invocations)
 	schedule := func(fn func(extraMgmt float64)) {
 		if p.cfg.Scheduler == nil {
-			p.eng.After(mgmtFixed, func() { fn(0) })
+			p.eng.Defer(mgmtFixed, func() { fn(0) })
 			return
 		}
 		// Auth first, then queue on the controller shard responsible for
 		// this task.
-		p.eng.After(p.cfg.AuthS+p.cfg.SchedulerExtraS, func() {
+		p.eng.Defer(p.cfg.AuthS+p.cfg.SchedulerExtraS, func() {
 			p.cfg.Scheduler.Decide(seq, func(lat sim.Time) { fn(lat - p.cfg.SchedS) })
 		})
 	}
@@ -401,7 +401,7 @@ func (p *Platform) runBranches(spec FunctionSpec, res *Result, done func()) {
 				// Fan-in: aggregate partial results.
 				agg := p.cfg.AggregationBaseS + p.cfg.LatModel.ExchangeS(p.cfg.Protocol, spec.ParentDataMB/float64(k))/4
 				res.DataIOS += agg
-				p.eng.After(agg, done)
+				p.eng.Defer(agg, done)
 				return
 			}
 			done()
@@ -448,7 +448,7 @@ func (p *Platform) runOne(spec FunctionSpec, execBase float64, res *Result, done
 	dataS := p.dataShareS(spec, colocated)
 
 	p.pending[c.server.ID]++
-	p.eng.After(instS+dataS, func() {
+	p.eng.Defer(instS+dataS, func() {
 		p.pending[c.server.ID]--
 		p.executeOn(c, spec, execBase, res, 0, func(execS float64, queueS float64) {
 			res.Container = &Handle{c: c}
@@ -511,7 +511,7 @@ func (p *Platform) placeServer(memGB float64) *cluster.Server {
 func (p *Platform) executeOn(c *container, spec FunctionSpec, execBase float64, res *Result, attempt int, done func(execS, queueS float64)) {
 	srv := c.server
 	enq := p.eng.Now()
-	srv.Cores().Acquire(func() {
+	srv.Cores().Grab(func() {
 		queueS := p.eng.Now() - enq
 		execS, straggler := p.sampleExec(execBase, spec.ExecCV, srv)
 		p.active.Inc(p.eng.Now(), 1)
@@ -524,7 +524,7 @@ func (p *Platform) executeOn(c *container, spec FunctionSpec, execBase float64, 
 				p.failures++
 				res.Failed++
 				failAt := execS * p.eng.Rand().Float64()
-				p.eng.After(failAt, func() {
+				p.eng.Defer(failAt, func() {
 					srv.Cores().Release()
 					p.active.Inc(p.eng.Now(), -1)
 					done(failAt, queueS)
@@ -533,10 +533,10 @@ func (p *Platform) executeOn(c *container, spec FunctionSpec, execBase float64, 
 			}
 			p.failures++
 			failAt := execS * p.eng.Rand().Float64()
-			p.eng.After(failAt, func() {
+			p.eng.Defer(failAt, func() {
 				srv.Cores().Release()
 				p.active.Inc(p.eng.Now(), -1)
-				p.eng.After(p.cfg.RespawnDelayS, func() {
+				p.eng.Defer(p.cfg.RespawnDelayS, func() {
 					p.executeOn(c, spec, execBase, res, attempt+1, func(e2, q2 float64) {
 						res.Respawns++
 						done(failAt+p.cfg.RespawnDelayS+e2, queueS+q2)
@@ -561,23 +561,23 @@ func (p *Platform) executeOn(c *container, spec FunctionSpec, execBase float64, 
 			if hist, ok := p.history[spec.Name]; ok && hist.N() >= p.cfg.MitigationMinObs {
 				threshold := hist.Percentile(p.cfg.MitigationPctl) * 1.2
 				if threshold > 0 && threshold < execS {
-					p.eng.After(threshold, func() {
+					p.eng.Defer(threshold, func() {
 						if finished {
 							return
 						}
 						res.Mitigated++
 						srv.Probation(p.cfg.ProbationS)
 						dup := &container{fn: spec.Name, server: p.cls.LeastLoaded(), memGB: spec.MemGB, born: p.eng.Now()}
-						p.eng.After(p.cfg.ColdStartS, func() {
+						p.eng.Defer(p.cfg.ColdStartS, func() {
 							if finished {
 								return
 							}
 							dupEnq := p.eng.Now()
-							dup.server.Cores().Acquire(func() {
+							dup.server.Cores().Grab(func() {
 								dupQ := p.eng.Now() - dupEnq
 								dupExec, _ := p.sampleExec(execBase, spec.ExecCV, dup.server)
 								p.active.Inc(p.eng.Now(), 1)
-								p.eng.After(dupExec, func() {
+								p.eng.Defer(dupExec, func() {
 									dup.server.Cores().Release()
 									p.active.Inc(p.eng.Now(), -1)
 									finish(threshold + p.cfg.ColdStartS + dupQ + dupExec)
@@ -589,7 +589,7 @@ func (p *Platform) executeOn(c *container, spec FunctionSpec, execBase float64, 
 			}
 		}
 
-		p.eng.After(execS, func() {
+		p.eng.Defer(execS, func() {
 			srv.Cores().Release()
 			p.active.Inc(p.eng.Now(), -1)
 			finish(execS)
@@ -631,7 +631,7 @@ func (r *Reserved) Invoke(spec FunctionSpec, done func(Result)) {
 	var maxExec, maxQueue float64
 	for i := 0; i < k; i++ {
 		enq := r.eng.Now()
-		r.pool.Cores().Acquire(func() {
+		r.pool.Cores().Grab(func() {
 			q := r.eng.Now() - enq
 			exec := perBranch
 			if spec.ExecCV > 0 {
@@ -639,7 +639,7 @@ func (r *Reserved) Invoke(spec FunctionSpec, done func(Result)) {
 				mu := -sigma * sigma / 2
 				exec *= math.Exp(mu + sigma*r.eng.Rand().NormFloat64())
 			}
-			r.eng.After(exec, func() {
+			r.eng.Defer(exec, func() {
 				r.pool.Cores().Release()
 				if exec > maxExec {
 					maxExec = exec

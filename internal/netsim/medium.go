@@ -44,7 +44,7 @@ type Medium struct {
 	flows      flowHeap
 	seq        uint64
 	lastUpdate sim.Time
-	timer      *sim.Timer
+	alarm      *sim.Alarm // next-completion timer, re-armed allocation-free
 
 	meter *stats.Meter // bytes delivered, for bandwidth reporting
 }
@@ -105,13 +105,18 @@ func NewMedium(eng *sim.Engine, capacityBps, perFlowCapBps float64) *Medium {
 	if capacityBps <= 0 {
 		panic("netsim: medium capacity must be positive")
 	}
-	return &Medium{
+	m := &Medium{
 		eng:        eng,
 		capacity:   capacityBps,
 		perFlowCap: perFlowCapBps,
 		meter:      stats.NewMeter(1.0),
 		lastUpdate: eng.Now(),
 	}
+	m.alarm = eng.NewAlarm(func() {
+		m.advance()
+		m.reschedule()
+	})
+	return m
 }
 
 // Capacity returns the aggregate capacity in bytes/s.
@@ -176,13 +181,10 @@ func (m *Medium) advance() {
 	}
 }
 
-// reschedule arms a timer for the next flow completion.
+// reschedule arms the completion alarm for the next flow.
 func (m *Medium) reschedule() {
-	if m.timer != nil {
-		m.timer.Cancel()
-		m.timer = nil
-	}
 	if len(m.flows) == 0 {
+		m.alarm.Stop()
 		return
 	}
 	// Aim slightly past the exact completion instant so floating-point
@@ -191,10 +193,7 @@ func (m *Medium) reschedule() {
 	if eta < 0 {
 		eta = 0
 	}
-	m.timer = m.eng.After(eta, func() {
-		m.advance()
-		m.reschedule()
-	})
+	m.alarm.Set(eta)
 }
 
 // Transfer starts a flow of the given size. done (may be nil) fires when

@@ -106,9 +106,9 @@ func (n *Network) EdgeToCloud(bytes float64, done func(TransferInfo)) {
 	start := n.eng.Now()
 	proc := n.procCost(bytes) * 2 // sender + receiver stacks
 	prop := n.cfg.WirelessPropS
-	n.eng.After(proc, func() {
+	n.eng.Defer(proc, func() {
 		n.Wireless.Transfer(bytes, func(f *Flow) {
-			n.eng.After(prop, func() {
+			n.eng.Defer(prop, func() {
 				info := TransferInfo{
 					Bytes:     bytes,
 					QueueingS: f.Duration(),
@@ -132,9 +132,9 @@ func (n *Network) CloudToCloud(bytes float64, done func(TransferInfo)) {
 	if n.cfg.RPCAccel {
 		prop = n.cfg.AccelCloudPropS
 	}
-	n.eng.After(proc, func() {
+	n.eng.Defer(proc, func() {
 		n.Cloud.Transfer(bytes, func(f *Flow) {
-			n.eng.After(prop, func() {
+			n.eng.Defer(prop, func() {
 				info := TransferInfo{
 					Bytes:     bytes,
 					QueueingS: f.Duration(),

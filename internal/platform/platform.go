@@ -515,9 +515,9 @@ func (s *System) RunJob(p apps.Profile, durationS float64) JobResult {
 				res.Respawns += m.Respawns
 			})
 			next := period * (0.8 + 0.4*rng.Float64())
-			s.Eng.After(next, submit)
+			s.Eng.Defer(next, submit)
 		}
-		s.Eng.At(start, submit)
+		s.Eng.DeferAt(start, submit)
 	}
 	s.Eng.RunUntil(durationS)
 	// Drain stragglers (bounded).
@@ -571,9 +571,9 @@ func (s *System) RunJobs(profiles []apps.Profile, durationS float64) []JobResult
 						stats.StageExecution:  m.Exec,
 					})
 				})
-				s.Eng.After(period*(0.8+0.4*rng.Float64()), submit)
+				s.Eng.Defer(period*(0.8+0.4*rng.Float64()), submit)
 			}
-			s.Eng.At(start, submit)
+			s.Eng.DeferAt(start, submit)
 		}
 	}
 	s.Eng.RunUntil(durationS)
@@ -639,9 +639,9 @@ func (s *System) ReservedJob(p apps.Profile, durationS float64, sizeCores int) J
 					})
 				})
 			})
-			s.Eng.After(period*(0.8+0.4*rng.Float64()), submit)
+			s.Eng.Defer(period*(0.8+0.4*rng.Float64()), submit)
 		}
-		s.Eng.At(start, submit)
+		s.Eng.DeferAt(start, submit)
 	}
 	s.Eng.RunUntil(durationS)
 	s.Eng.RunUntil(durationS + 120)

@@ -214,12 +214,12 @@ func runSearch(kind Kind, cfg Config, dedup bool) Result {
 		if cfg.KillControllerAtS >= 0 {
 			// §4.7 controller-crash drill: the active replica dies
 			// mid-mission and a hot standby takes over.
-			eng.At(cfg.KillControllerAtS, func() { ctl.KillActiveReplica() })
+			eng.DeferAt(cfg.KillControllerAtS, func() { ctl.KillActiveReplica() })
 		}
 	}
 	if cfg.FailDeviceID >= 0 && cfg.FailDeviceID < len(sys.Fleet) {
 		id := cfg.FailDeviceID
-		eng.At(cfg.FailAtS, func() { sys.Fleet[id].Fail() })
+		eng.DeferAt(cfg.FailAtS, func() { sys.Fleet[id].Fail() })
 	}
 
 	found := make([]bool, cfg.Items)
@@ -287,9 +287,9 @@ func runSearch(kind Kind, cfg Config, dedup bool) Result {
 				return
 			}
 			sys.SubmitTask(rec, d, platform.SubmitOpts{}, func(platform.TaskMetrics) {})
-			eng.After(1.0*(0.9+0.2*rng.Float64()), scan)
+			eng.Defer(1.0*(0.9+0.2*rng.Float64()), scan)
 		}
-		eng.At(rng.Float64(), scan)
+		eng.DeferAt(rng.Float64(), scan)
 	}
 
 	// Sighting schedule.
@@ -317,7 +317,7 @@ func runSearch(kind Kind, cfg Config, dedup bool) Result {
 						// baselines lose the coverage.
 						if repartitioned {
 							if alive := aliveDevice(sys, rng); alive != nil {
-								eng.After(sweep*0.5, func() { processSighting(alive, it) })
+								eng.Defer(sweep*0.5, func() { processSighting(alive, it) })
 							}
 						}
 						return
@@ -325,13 +325,13 @@ func runSearch(kind Kind, cfg Config, dedup bool) Result {
 					processSighting(d, it)
 					// If the pipeline drops the frame, the next pass tries
 					// again.
-					eng.After(10+rng.Float64()*5, func() {
+					eng.Defer(10+rng.Float64()*5, func() {
 						if !found[it] && !missionDone {
 							try()
 						}
 					})
 				}
-				eng.At(at, try)
+				eng.DeferAt(at, try)
 			}
 		}
 	} else {
@@ -356,16 +356,16 @@ func runSearch(kind Kind, cfg Config, dedup bool) Result {
 				if rng.Float64() < cfg.DetectProb {
 					p := p
 					at := rng.Float64() * pass() * 0.8
-					eng.After(at, func() {
+					eng.Defer(at, func() {
 						if !missionDone && !found[p] && !d.Failed() {
 							processSighting(d, p)
 						}
 					})
 				}
 			}
-			eng.After(pass(), round)
+			eng.Defer(pass(), round)
 		}
-		eng.At(0.5, round)
+		eng.DeferAt(0.5, round)
 	}
 
 	eng.RunUntil(cfg.MaxDurationS)
@@ -429,12 +429,12 @@ func runRoverMission(kind Kind, cfg Config) Result {
 			}
 			step++
 			travel := legM / speed * (0.9 + 0.2*rng.Float64())
-			eng.After(travel, func() {
+			eng.Defer(travel, func() {
 				start := eng.Now()
 				sys.SubmitTask(prof, d, platform.SubmitOpts{}, func(m platform.TaskMetrics) {
 					if m.Dropped {
 						// Re-read the panel / re-plan.
-						eng.After(1, advance)
+						eng.Defer(1, advance)
 						return
 					}
 					res.TaskLatency.Add(eng.Now() - start)
@@ -448,7 +448,7 @@ func runRoverMission(kind Kind, cfg Config) Result {
 				})
 			})
 		}
-		eng.At(rng.Float64(), advance)
+		eng.DeferAt(rng.Float64(), advance)
 	}
 	eng.RunUntil(cfg.MaxDurationS)
 	res.Found = finished

@@ -29,6 +29,26 @@ func BenchmarkEngineHeapPressure(b *testing.B) {
 	e.Run()
 }
 
+// BenchmarkRunUntil measures the schedule-fire hot loop: one event in
+// flight at a time, each firing scheduling its successor — the steady
+// state of every queueing model in the repository. Allocation rate here
+// bounds the GC pressure of the whole evaluation sweep.
+func BenchmarkRunUntil(b *testing.B) {
+	e := NewEngine(1)
+	count := 0
+	var next func()
+	next = func() {
+		count++
+		if count < b.N {
+			e.After(0.001, next)
+		}
+	}
+	e.At(0, next)
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.RunUntil(Infinity)
+}
+
 // BenchmarkResourceQueueing pushes jobs through a contended multi-core
 // resource.
 func BenchmarkResourceQueueing(b *testing.B) {

@@ -7,10 +7,17 @@
 // cancellable timers and multi-server FIFO resources with queueing
 // statistics — the building blocks for the queueing-network swarm
 // simulator described in Section 5.6 of the HiveMind paper.
+//
+// The event loop is the hot path under the entire evaluation sweep
+// (every figure re-runs the swarm simulator), so it is tuned to shed
+// allocations: event structs are recycled through a per-engine free
+// list (safe because Cancel drops the callback and recycling bumps a
+// generation counter that stale Timer handles check), and the priority
+// queue is a hand-rolled binary heap with inlined comparisons rather
+// than container/heap's interface-dispatched one.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -22,56 +29,34 @@ type Time = float64
 const Infinity Time = 1e18
 
 // event is a scheduled closure. seq breaks ties between events scheduled
-// for the same instant so execution order matches scheduling order.
+// for the same instant so execution order matches scheduling order. gen
+// counts recycles: a Timer binds to (event, gen) and goes inert once the
+// event is returned to the pool, so handle reuse cannot cancel an
+// unrelated later event.
 type event struct {
 	at     Time
 	seq    uint64
 	fn     func()
 	cancel bool
-	index  int // heap index, maintained by eventHeap
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+	index  int    // heap index, -1 once popped
+	gen    uint32 // bumped on every recycle
 }
 
 // Engine is a discrete-event simulation executive. It is not safe for
 // concurrent use; all model code runs on the caller's goroutine inside
 // Run / RunUntil.
 type Engine struct {
-	now     Time
-	events  eventHeap
-	seq     uint64
-	rng     *rand.Rand
+	now    Time
+	events []*event // binary min-heap on (at, seq)
+	seq    uint64
+	rng    *rand.Rand
+	// free recycles event structs. It is deliberately per-engine rather
+	// than a shared sync.Pool: the evaluation runner executes many
+	// engines on concurrent goroutines, and a cross-engine pool would
+	// let a stale Timer in one engine read an event another engine is
+	// rewriting. Engines are single-goroutine, so this list needs no
+	// synchronization at all.
+	free    []*event
 	stopped bool
 	steps   uint64
 }
@@ -91,39 +76,139 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // Steps reports how many events have been executed so far.
 func (e *Engine) Steps() uint64 { return e.steps }
 
+// less orders events by time, ties broken by scheduling order.
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push inserts ev into the heap. The common case — an event scheduled
+// later than everything pending — is a single append plus one parent
+// comparison; out-of-order inserts sift up as usual.
+func (e *Engine) push(ev *event) {
+	h := append(e.events, ev)
+	i := len(h) - 1
+	ev.index = i
+	for i > 0 {
+		p := (i - 1) / 2
+		if !less(ev, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		h[i].index = i
+		i = p
+	}
+	h[i] = ev
+	ev.index = i
+	e.events = h
+}
+
+// pop removes and returns the earliest event. It sifts a hole down and
+// drops the displaced tail element in once, halving pointer writes
+// versus swap-based sift.
+func (e *Engine) pop() *event {
+	h := e.events
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	h = h[:n]
+	if n > 0 {
+		i := 0
+		for {
+			c := 2*i + 1
+			if c >= n {
+				break
+			}
+			if r := c + 1; r < n && less(h[r], h[c]) {
+				c = r
+			}
+			if !less(h[c], last) {
+				break
+			}
+			h[i] = h[c]
+			h[i].index = i
+			i = c
+		}
+		h[i] = last
+		last.index = i
+	}
+	e.events = h
+	top.index = -1
+	return top
+}
+
+// recycle returns a popped event to the free list. The generation bump
+// makes any Timer still holding the event inert.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.gen++
+	e.free = append(e.free, ev)
+}
+
+// schedule is the allocation-lean core of At/After/Defer: it takes an
+// event from the free list and enqueues it without creating a Timer
+// handle.
+func (e *Engine) schedule(t Time, fn func()) *event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %g before now %g", t, e.now))
+	}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = new(event)
+	}
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.cancel = false
+	e.seq++
+	e.push(ev)
+	return ev
+}
+
 // Timer is a handle to a scheduled event that can be cancelled before it
 // fires.
 type Timer struct {
-	ev *event
+	ev        *event
+	gen       uint32
+	cancelled bool
 }
 
 // Cancel prevents the timer's callback from running. Cancelling an
 // already-fired or already-cancelled timer is a no-op. It reports whether
 // the callback was actually prevented.
 func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.cancel || t.ev.index == -1 && t.ev.fn == nil {
+	if t == nil || t.ev == nil || t.cancelled {
 		return false
 	}
-	t.ev.cancel = true
+	ev := t.ev
+	if ev.gen != t.gen || ev.fn == nil {
+		// The event fired (and was recycled, possibly into a new life)
+		// or is mid-dispatch; nothing to prevent.
+		return false
+	}
+	ev.cancel = true
 	// Release the closure immediately: a cancelled event can sit in the
 	// heap until popped, and fn may capture large model state.
-	t.ev.fn = nil
-	return t.ev.index != -1
+	ev.fn = nil
+	t.cancelled = true
+	return ev.index != -1
 }
 
 // Stopped reports whether the timer has been cancelled.
-func (t *Timer) Stopped() bool { return t == nil || t.ev == nil || t.ev.cancel }
+func (t *Timer) Stopped() bool { return t == nil || t.ev == nil || t.cancelled }
 
 // At schedules fn to run at absolute time t. Scheduling in the past
 // panics: it indicates a model bug that would silently corrupt causality.
 func (e *Engine) At(t Time, fn func()) *Timer {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: schedule at %g before now %g", t, e.now))
-	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.events, ev)
-	return &Timer{ev: ev}
+	ev := e.schedule(t, fn)
+	return &Timer{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d seconds from now. Negative delays are
@@ -133,6 +218,71 @@ func (e *Engine) After(d Time, fn func()) *Timer {
 		d = 0
 	}
 	return e.At(e.now+d, fn)
+}
+
+// Defer schedules fn to run d seconds from now, like After, but without
+// materialising a Timer handle. It is the right call in hot model loops
+// that never cancel: the event struct itself is pool-recycled, so a
+// Defer round trip is allocation-free at steady state.
+func (e *Engine) Defer(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.schedule(e.now+d, fn)
+}
+
+// DeferAt is Defer with an absolute deadline.
+func (e *Engine) DeferAt(t Time, fn func()) {
+	e.schedule(t, fn)
+}
+
+// Alarm is a reusable one-shot timer for model components that re-arm
+// the same callback over and over (flow-completion timers, keep-alive
+// expirations). Unlike After, re-arming an Alarm allocates nothing: the
+// callback is bound once and the Alarm tracks its pending event through
+// the engine's recycling generations.
+type Alarm struct {
+	eng *Engine
+	fn  func()
+	ev  *event
+	gen uint32
+}
+
+// NewAlarm binds fn to a reusable timer. The alarm starts unarmed.
+func (e *Engine) NewAlarm(fn func()) *Alarm {
+	return &Alarm{eng: e, fn: fn}
+}
+
+// armed reports whether the alarm's event is still pending and its own
+// (not recycled into a new life, not cancelled, not mid-dispatch).
+func (a *Alarm) armed() bool {
+	return a.ev != nil && a.ev.gen == a.gen && a.ev.fn != nil
+}
+
+// Set arms the alarm to fire d seconds from now (clamped at zero),
+// replacing any pending firing.
+func (a *Alarm) Set(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	a.SetAt(a.eng.now + d)
+}
+
+// SetAt arms the alarm to fire at absolute time t, replacing any
+// pending firing.
+func (a *Alarm) SetAt(t Time) {
+	a.Stop()
+	a.ev = a.eng.schedule(t, a.fn)
+	a.gen = a.ev.gen
+}
+
+// Stop cancels the pending firing, if any. Safe to call when unarmed.
+func (a *Alarm) Stop() {
+	if a.armed() {
+		a.ev.cancel = true
+		a.ev.fn = nil
+	}
+	a.ev = nil
 }
 
 // Stop makes the current Run/RunUntil call return after the in-flight
@@ -157,18 +307,19 @@ func (e *Engine) RunUntil(limit Time) uint64 {
 	e.stopped = false
 	var executed uint64
 	for len(e.events) > 0 && !e.stopped {
-		next := e.events[0]
-		if next.at > limit {
+		if e.events[0].at > limit {
 			e.now = limit
 			return executed
 		}
-		heap.Pop(&e.events)
+		next := e.pop()
 		if next.cancel {
+			e.recycle(next)
 			continue
 		}
 		e.now = next.at
 		fn := next.fn
 		next.fn = nil
+		e.recycle(next)
 		fn()
 		e.steps++
 		executed++
@@ -188,6 +339,17 @@ func (e *Engine) RunUntil(limit Time) uint64 {
 // exactly 1/period regardless of jitter.
 func (e *Engine) Every(period, jitter Time, fn func()) *Ticker {
 	t := &Ticker{eng: e, period: period, jitter: jitter, fn: fn, base: e.now}
+	// One closure for the ticker's whole life; each firing re-arms the
+	// same reusable alarm, so steady-state ticking allocates nothing.
+	t.next = e.NewAlarm(func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
 	t.arm()
 	return t
 }
@@ -198,7 +360,7 @@ type Ticker struct {
 	period Time
 	jitter Time
 	fn     func()
-	next   *Timer
+	next   *Alarm
 	// base is the unjittered anchor of the last scheduled firing; each
 	// arm advances it by exactly period so jitter perturbs the phase of
 	// individual firings without accumulating into the period.
@@ -213,19 +375,11 @@ func (t *Ticker) arm() {
 		at += (t.eng.Rand().Float64() - 0.5) * t.jitter
 	}
 	// A large jitter (> period) can draw a phase behind the clock;
-	// clamp rather than panic in At.
+	// clamp rather than schedule in the past.
 	if at < t.eng.now {
 		at = t.eng.now
 	}
-	t.next = t.eng.At(at, func() {
-		if t.stopped {
-			return
-		}
-		t.fn()
-		if !t.stopped {
-			t.arm()
-		}
-	})
+	t.next.SetAt(at)
 }
 
 // Stop ends the ticker. Safe to call multiple times.
@@ -234,7 +388,5 @@ func (t *Ticker) Stop() {
 		return
 	}
 	t.stopped = true
-	if t.next != nil {
-		t.next.Cancel()
-	}
+	t.next.Stop()
 }

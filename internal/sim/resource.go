@@ -11,6 +11,11 @@ type Resource struct {
 	capacity int
 	busy     int
 	queue    []*request
+	// freeReqs recycles request structs from the no-handle Grab path.
+	// Requests wrapped in an Acquisition are never pooled: the handle
+	// may outlive the grant, and a recycled struct under a live handle
+	// would let a stale Cancel hit an unrelated request.
+	freeReqs []*request
 
 	// statistics
 	totalWait    Time
@@ -26,6 +31,7 @@ type request struct {
 	n         int
 	fn        func()
 	cancelled bool
+	pooled    bool // recycle into freeReqs after dispatch
 }
 
 // NewResource creates a resource with the given concurrent capacity.
@@ -71,6 +77,31 @@ func (r *Resource) Acquire(fn func()) *Acquisition {
 	return r.AcquireN(1, fn)
 }
 
+// Grab requests one unit like Acquire but returns no handle, which
+// keeps the hot acquire/release cycle allocation-free: an immediate
+// grant touches no request struct at all, and a queued request comes
+// from (and returns to) the resource's free list. Use it wherever the
+// request is never cancelled — which is every production call site.
+func (r *Resource) Grab(fn func()) {
+	r.stamp()
+	if len(r.queue) == 0 && r.busy+1 <= r.capacity {
+		r.busy++
+		r.grants++
+		fn()
+		return
+	}
+	var req *request
+	if n := len(r.freeReqs); n > 0 {
+		req = r.freeReqs[n-1]
+		r.freeReqs[n-1] = nil
+		r.freeReqs = r.freeReqs[:n-1]
+	} else {
+		req = new(request)
+	}
+	*req = request{enqueued: r.eng.Now(), n: 1, fn: fn, pooled: true}
+	r.enqueue(req)
+}
+
 // AcquireN requests n units granted atomically.
 func (r *Resource) AcquireN(n int, fn func()) *Acquisition {
 	if n <= 0 || n > r.capacity {
@@ -84,11 +115,15 @@ func (r *Resource) AcquireN(n int, fn func()) *Acquisition {
 		fn()
 		return &Acquisition{res: r, req: req, granted: true}
 	}
+	r.enqueue(req)
+	return &Acquisition{res: r, req: req}
+}
+
+func (r *Resource) enqueue(req *request) {
 	r.queue = append(r.queue, req)
 	if len(r.queue) > r.maxQueue {
 		r.maxQueue = len(r.queue)
 	}
-	return &Acquisition{res: r, req: req}
 }
 
 // Release returns n units and dispatches queued requests that now fit.
@@ -109,6 +144,7 @@ func (r *Resource) dispatch() {
 		head := r.queue[0]
 		if head.cancelled {
 			r.queue = r.queue[1:]
+			r.recycle(head)
 			continue
 		}
 		if r.busy+head.n > r.capacity {
@@ -118,16 +154,28 @@ func (r *Resource) dispatch() {
 		r.busy += head.n
 		r.grants++
 		r.totalWait += r.eng.Now() - head.enqueued
-		head.fn()
+		fn := head.fn
+		r.recycle(head)
+		fn()
 	}
+}
+
+// recycle returns a Grab-path request to the free list. Handle-backed
+// requests are left to the garbage collector (see freeReqs).
+func (r *Resource) recycle(req *request) {
+	if !req.pooled {
+		return
+	}
+	req.fn = nil
+	r.freeReqs = append(r.freeReqs, req)
 }
 
 // Use acquires one unit, holds it for service seconds, releases it, and
 // then calls done (which may be nil). It is the common "queue at a
 // station" primitive.
 func (r *Resource) Use(service Time, done func()) {
-	r.Acquire(func() {
-		r.eng.After(service, func() {
+	r.Grab(func() {
+		r.eng.Defer(service, func() {
 			r.Release()
 			if done != nil {
 				done()

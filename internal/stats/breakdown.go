@@ -69,6 +69,15 @@ func (b *Breakdown) Merge(o *Breakdown) {
 	b.total.AddAll(o.total.Values()...)
 }
 
+// Freeze pre-sorts every stage sample and the total so subsequent
+// read-only queries are safe for concurrent readers (see Sample.Freeze).
+func (b *Breakdown) Freeze() {
+	for _, s := range b.stages {
+		s.Freeze()
+	}
+	b.total.Freeze()
+}
+
 // N returns the number of recorded tasks.
 func (b *Breakdown) N() int { return b.total.N() }
 

@@ -55,6 +55,13 @@ func (s *Sample) ensureSorted() {
 	}
 }
 
+// Freeze pre-sorts the observations so every subsequent read-only query
+// (percentiles, min/max, values, PDF) is safe for concurrent readers.
+// Call it before sharing a Sample across goroutines — e.g. when a result
+// is published through the experiment runner's memoized cache. Adding
+// observations after Freeze un-freezes the sample.
+func (s *Sample) Freeze() { s.ensureSorted() }
+
 // Percentile returns the p-th percentile (p in [0,100]) using linear
 // interpolation between closest ranks. Empty samples return 0.
 func (s *Sample) Percentile(p float64) float64 {

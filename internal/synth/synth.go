@@ -13,8 +13,11 @@ package synth
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"hivemind/internal/dsl"
 )
@@ -133,90 +136,150 @@ type Metrics struct {
 	Feasible     bool    // network not oversubscribed, edge not overloaded
 }
 
-// Enumerate generates all meaningful candidates for the graph.
-// Meaningful (§4.2): Place pins are honoured, sensing tasks never run
-// in the cloud.
-func Enumerate(g *dsl.TaskGraph, costs map[string]TaskCost) ([]Candidate, error) {
+// model is the indexed form of (graph, costs) the exploration hot path
+// works over: tasks in topo order, cost profiles and edge lists resolved
+// to integer indices, so candidate generation and scoring touch no maps
+// and no string keys. Exported entry points build a model internally and
+// translate back to the map-keyed Candidate at the boundary.
+type model struct {
+	tasks []*dsl.Task
+	index map[string]int
+	cost  []TaskCost
+	// parents holds t.Parents resolved to indices (critical-path max);
+	// inEdges holds the parent of every incoming graph edge in global
+	// binding order (binding-cost walk). The two agree on membership for
+	// a validated graph but are kept separate so the accumulation order
+	// of the cost arithmetic matches the original map-based walk exactly.
+	parents [][]int
+	inEdges [][]int
+}
+
+func newModel(g *dsl.TaskGraph, costs map[string]TaskCost) *model {
 	tasks := g.TopoOrder()
-	if len(tasks) == 0 {
-		return nil, fmt.Errorf("synth: empty graph")
+	m := &model{
+		tasks:   tasks,
+		index:   make(map[string]int, len(tasks)),
+		cost:    make([]TaskCost, len(tasks)),
+		parents: make([][]int, len(tasks)),
+		inEdges: make([][]int, len(tasks)),
 	}
-	for _, t := range tasks {
+	for i, t := range tasks {
+		m.index[t.Name] = i
+		m.cost[i] = costs[t.Name]
+	}
+	for i, t := range tasks {
+		if len(t.Parents) > 0 {
+			ps := make([]int, len(t.Parents))
+			for j, p := range t.Parents {
+				ps[j] = m.index[p]
+			}
+			m.parents[i] = ps
+		}
+		for _, c := range t.Children {
+			j := m.index[c]
+			m.inEdges[j] = append(m.inEdges[j], i)
+		}
+	}
+	return m
+}
+
+func (m *model) validate(costs map[string]TaskCost) error {
+	if len(m.tasks) == 0 {
+		return fmt.Errorf("synth: empty graph")
+	}
+	for _, t := range m.tasks {
 		if _, ok := costs[t.Name]; !ok {
-			return nil, fmt.Errorf("synth: no cost profile for task %q", t.Name)
+			return fmt.Errorf("synth: no cost profile for task %q", t.Name)
 		}
 	}
-	if len(tasks) > 20 {
-		return nil, fmt.Errorf("synth: %d tasks exceeds the exploration limit (20)", len(tasks))
+	if len(m.tasks) > 20 {
+		return fmt.Errorf("synth: %d tasks exceeds the exploration limit (20)", len(m.tasks))
 	}
-	var out []Candidate
-	n := len(tasks)
-	for mask := 0; mask < 1<<n; mask++ {
-		assign := make(map[string]Loc, n)
-		ok := true
-		for i, t := range tasks {
-			loc := LocCloud
-			if mask&(1<<i) != 0 {
-				loc = LocEdge
-			}
-			// Pruning rules.
-			if costs[t.Name].Sensor && loc == LocCloud {
-				ok = false // collecting sensor data in the cloud is meaningless
-				break
-			}
-			switch t.Pin {
-			case dsl.PlaceEdge:
-				if loc != LocEdge {
-					ok = false
-				}
-			case dsl.PlaceCloud:
-				if loc != LocCloud {
-					ok = false
-				}
-			}
-			if !ok {
-				break
-			}
-			assign[t.Name] = loc
+	return nil
+}
+
+// enumerate generates every meaningful assignment as an indexed []Loc.
+// Instead of expanding all 2^n masks and filtering, it resolves each
+// pinned or sensor-bound task to its forced location up front and only
+// enumerates the 2^free remaining combinations — branch-and-bound
+// rather than generate-then-filter. Spreading ascending free-bit masks
+// into ascending task positions is monotone, so candidates come out in
+// the same order the full-mask scan produced.
+func (m *model) enumerate() ([][]Loc, error) {
+	n := len(m.tasks)
+	template := make([]Loc, n)
+	free := make([]int, 0, n)
+	for i, t := range m.tasks {
+		sensor := m.cost[i].Sensor
+		switch {
+		case sensor && t.Pin == dsl.PlaceCloud:
+			// Collecting sensor data in the cloud is meaningless; a cloud
+			// pin on a sensing task leaves no legal placement at all.
+			return nil, fmt.Errorf("synth: constraints eliminate every placement")
+		case sensor || t.Pin == dsl.PlaceEdge:
+			template[i] = LocEdge
+		case t.Pin == dsl.PlaceCloud:
+			template[i] = LocCloud
+		default:
+			free = append(free, i)
 		}
-		if !ok {
-			continue
-		}
-		out = append(out, Candidate{Assignment: assign, Bindings: bindingsFor(g, assign)})
 	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("synth: constraints eliminate every placement")
+	count := 1 << len(free)
+	flat := make([]Loc, count*n) // one block, sliced per candidate
+	out := make([][]Loc, count)
+	for fm := 0; fm < count; fm++ {
+		locs := flat[fm*n : (fm+1)*n : (fm+1)*n]
+		copy(locs, template)
+		for j, idx := range free {
+			if fm&(1<<j) != 0 {
+				locs[idx] = LocEdge
+			}
+		}
+		out[fm] = locs
 	}
 	return out, nil
 }
 
-// bindingsFor composes the APIs a candidate needs (§4.1: Thrift-style
-// RPC for computation that may run at the edge, the serverless function
-// interface for tasks on the cluster).
-func bindingsFor(g *dsl.TaskGraph, assign map[string]Loc) []Binding {
-	var out []Binding
-	for _, t := range g.TopoOrder() {
-		for _, c := range t.Children {
-			from, to := assign[t.Name], assign[c]
-			var kind BindingKind
-			switch {
-			case from == LocCloud && to == LocCloud:
-				kind = BindFaaS
-			case from == LocEdge && to == LocEdge:
-				kind = BindLocal
-			default:
-				kind = BindRPC
-			}
-			out = append(out, Binding{From: t.Name, To: c, Kind: kind})
-		}
+func bindKind(from, to Loc) BindingKind {
+	switch {
+	case from == LocCloud && to == LocCloud:
+		return BindFaaS
+	case from == LocEdge && to == LocEdge:
+		return BindLocal
+	default:
+		return BindRPC
 	}
-	return out
 }
 
-// Estimate fills in a candidate's predicted metrics.
-func Estimate(g *dsl.TaskGraph, c *Candidate, costs map[string]TaskCost, env Env) Metrics {
-	var m Metrics
-	m.Feasible = true
+// candidate materialises the exported map-keyed Candidate for one
+// indexed assignment, composing the APIs it needs (§4.1: Thrift-style
+// RPC for computation that may run at the edge, the serverless function
+// interface for tasks on the cluster).
+func (m *model) candidate(locs []Loc, metrics Metrics) Candidate {
+	assign := make(map[string]Loc, len(locs))
+	nb := 0
+	for i, t := range m.tasks {
+		assign[t.Name] = locs[i]
+		nb += len(t.Children)
+	}
+	bindings := make([]Binding, 0, nb)
+	for i, t := range m.tasks {
+		for _, c := range t.Children {
+			bindings = append(bindings, Binding{
+				From: t.Name, To: c, Kind: bindKind(locs[i], locs[m.index[c]]),
+			})
+		}
+	}
+	return Candidate{Assignment: assign, Bindings: bindings, Metrics: metrics}
+}
+
+// estimate scores one indexed assignment. lat is caller-owned scratch of
+// length len(m.tasks), so a tight loop over candidates reuses it. The
+// arithmetic visits tasks and edges in exactly the order the original
+// map-based walk did, keeping predictions bit-identical.
+func (m *model) estimate(locs []Loc, env Env, lat []float64) Metrics {
+	var mtr Metrics
+	mtr.Feasible = true
 
 	// Aggregate offered loads.
 	var edgeUtil float64 // per-device core utilization
@@ -226,12 +289,10 @@ func Estimate(g *dsl.TaskGraph, c *Candidate, costs map[string]TaskCost, env Env
 
 	// Critical path latency: longest root→leaf chain of per-task
 	// latencies plus binding costs.
-	lat := map[string]float64{}
-	for _, t := range g.TopoOrder() {
-		cost := costs[t.Name]
-		loc := c.Assignment[t.Name]
+	for i := range m.tasks {
+		cost := m.cost[i]
 		var taskLat float64
-		if loc == LocEdge {
+		if locs[i] == LocEdge {
 			util := cost.RatePerDev * cost.EdgeExecS
 			edgeUtil += util
 			if util >= 1 {
@@ -251,15 +312,12 @@ func Estimate(g *dsl.TaskGraph, c *Candidate, costs map[string]TaskCost, env Env
 		}
 		// Binding (incoming edge) costs: charged on the child.
 		var bindLat float64
-		for _, b := range c.Bindings {
-			if b.To != t.Name {
-				continue
-			}
-			parentOut := costs[b.From].OutputMB
-			switch b.Kind {
+		for _, p := range m.inEdges[i] {
+			parentOut := m.cost[p].OutputMB
+			switch bindKind(locs[p], locs[i]) {
 			case BindRPC:
 				bindLat = math.Max(bindLat, env.RPCBaseS+parentOut/(env.WirelessMBps/devs))
-				netMBps += costs[b.From].RatePerDev * devs * parentOut
+				netMBps += m.cost[p].RatePerDev * devs * parentOut
 			case BindFaaS:
 				bindLat = math.Max(bindLat, env.ExchangeCloudS)
 			case BindLocal:
@@ -267,81 +325,166 @@ func Estimate(g *dsl.TaskGraph, c *Candidate, costs map[string]TaskCost, env Env
 			}
 		}
 		// Sensor input arriving at a cloud task crosses the wireless hop.
-		if loc == LocCloud && cost.InputMB > 0 && !hasParentBinding(c, t.Name) {
+		if locs[i] == LocCloud && cost.InputMB > 0 && len(m.inEdges[i]) == 0 {
 			netMBps += cost.RatePerDev * devs * cost.InputMB
 			bindLat = math.Max(bindLat, cost.InputMB/(env.WirelessMBps/devs))
 		}
 		best := 0.0
-		if t2, ok := g.Task(t.Name); ok {
-			for _, p := range t2.Parents {
-				if lat[p] > best {
-					best = lat[p]
-				}
+		for _, p := range m.parents[i] {
+			if lat[p] > best {
+				best = lat[p]
 			}
 		}
-		lat[t.Name] = best + taskLat + bindLat
+		lat[i] = best + taskLat + bindLat
 	}
-	for _, l := range lat {
-		if l > m.LatencyS {
-			m.LatencyS = l
+	for i := range m.tasks {
+		if lat[i] > mtr.LatencyS {
+			mtr.LatencyS = lat[i]
 		}
 	}
 	if edgeUtil >= 1 {
-		m.Feasible = false
+		mtr.Feasible = false
 	}
 	if netMBps >= env.WirelessMBps {
-		m.Feasible = false
+		mtr.Feasible = false
 	}
 	if cloudCoreS > float64(env.CloudCores) {
-		m.Feasible = false
+		mtr.Feasible = false
 	}
-	m.NetworkMBps = netMBps
-	m.DevicePowerW = edgeUtil*env.EdgePowerW + (netMBps/devs)*env.RadioJPerMB
-	m.CloudUSDps = cloudCoreS * env.CloudUSDPerCPU
-	c.Metrics = m
-	return m
+	mtr.NetworkMBps = netMBps
+	mtr.DevicePowerW = edgeUtil*env.EdgePowerW + (netMBps/devs)*env.RadioJPerMB
+	mtr.CloudUSDps = cloudCoreS * env.CloudUSDPerCPU
+	return mtr
 }
 
-func hasParentBinding(c *Candidate, task string) bool {
-	for _, b := range c.Bindings {
-		if b.To == task {
-			return true
-		}
+// estimateChunk is the grain of the parallel estimation fan-out: big
+// enough to amortize goroutine handoff, small enough to balance load
+// across uneven chunks.
+const estimateChunk = 256
+
+// estimateAll scores every assignment into metrics (index-aligned with
+// locsList). Candidates are independent, so they are fanned across
+// GOMAXPROCS workers in chunks; each worker writes disjoint indices,
+// which keeps the result deterministic regardless of scheduling.
+func (m *model) estimateAll(locsList [][]Loc, env Env, metrics []Metrics) {
+	workers := runtime.GOMAXPROCS(0)
+	if max := (len(locsList) + estimateChunk - 1) / estimateChunk; workers > max {
+		workers = max
 	}
-	return false
+	if workers <= 1 {
+		lat := make([]float64, len(m.tasks))
+		for i, locs := range locsList {
+			metrics[i] = m.estimate(locs, env, lat)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lat := make([]float64, len(m.tasks))
+			for {
+				start := int(next.Add(estimateChunk)) - estimateChunk
+				if start >= len(locsList) {
+					return
+				}
+				end := start + estimateChunk
+				if end > len(locsList) {
+					end = len(locsList)
+				}
+				for i := start; i < end; i++ {
+					metrics[i] = m.estimate(locsList[i], env, lat)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Enumerate generates all meaningful candidates for the graph.
+// Meaningful (§4.2): Place pins are honoured, sensing tasks never run
+// in the cloud.
+func Enumerate(g *dsl.TaskGraph, costs map[string]TaskCost) ([]Candidate, error) {
+	m := newModel(g, costs)
+	if err := m.validate(costs); err != nil {
+		return nil, err
+	}
+	locsList, err := m.enumerate()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Candidate, len(locsList))
+	for i, locs := range locsList {
+		out[i] = m.candidate(locs, Metrics{})
+	}
+	return out, nil
+}
+
+// Estimate fills in a candidate's predicted metrics.
+func Estimate(g *dsl.TaskGraph, c *Candidate, costs map[string]TaskCost, env Env) Metrics {
+	m := newModel(g, costs)
+	locs := make([]Loc, len(m.tasks))
+	for i, t := range m.tasks {
+		locs[i] = c.Assignment[t.Name]
+	}
+	mtr := m.estimate(locs, env, make([]float64, len(m.tasks)))
+	c.Metrics = mtr
+	return mtr
 }
 
 // Explore enumerates, estimates and ranks all candidates. Tasks fed by
 // a declared data stream inherit its rate (and item size, when the cost
 // profile leaves them unset).
 func Explore(g *dsl.TaskGraph, costs map[string]TaskCost, env Env) ([]Candidate, error) {
+	// Patch stream-derived rates into a copy: the costs map belongs to
+	// the caller, who may reuse it across runs or share it between
+	// concurrent Explore calls.
+	patched := make(map[string]TaskCost, len(costs))
+	for k, v := range costs {
+		patched[k] = v
+	}
 	for _, t := range g.Tasks {
 		if st, ok := g.StreamFor(t); ok {
-			c := costs[t.Name]
+			c := patched[t.Name]
 			if c.RatePerDev == 0 {
 				c.RatePerDev = st.RateHz
 			}
 			if c.InputMB == 0 {
 				c.InputMB = st.ItemMB
 			}
-			costs[t.Name] = c
+			patched[t.Name] = c
 		}
 	}
-	cands, err := Enumerate(g, costs)
+	m := newModel(g, patched)
+	if err := m.validate(patched); err != nil {
+		return nil, err
+	}
+	locsList, err := m.enumerate()
 	if err != nil {
 		return nil, err
 	}
-	for i := range cands {
-		Estimate(g, &cands[i], costs, env)
+	metrics := make([]Metrics, len(locsList))
+	m.estimateAll(locsList, env, metrics)
+	// Rank by index so the map-keyed Candidates are only materialised
+	// once, in final order.
+	order := make([]int, len(locsList))
+	for i := range order {
+		order[i] = i
 	}
-	sort.SliceStable(cands, func(i, j int) bool {
-		a, b := cands[i].Metrics, cands[j].Metrics
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := metrics[order[i]], metrics[order[j]]
 		if a.Feasible != b.Feasible {
 			return a.Feasible
 		}
 		return a.LatencyS < b.LatencyS
 	})
-	return cands, nil
+	out := make([]Candidate, len(order))
+	for rank, idx := range order {
+		out[rank] = m.candidate(locsList[idx], metrics[idx])
+	}
+	return out, nil
 }
 
 // Select returns the best candidate satisfying the user's constraints
