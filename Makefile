@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-eval chaos live-smoke bench bench-eval bench-all sweep sweep-parity examples fmt vet clean
+.PHONY: all build test race race-eval chaos live-smoke overload-smoke bench bench-eval bench-gateway bench-all sweep sweep-parity examples fmt vet clean
 
 all: build vet test
 
@@ -25,7 +25,7 @@ race-eval:
 # (fixed seeds baked into the tests), so this run is deterministic.
 chaos:
 	$(GO) test -race -count=1 \
-		-run 'Chaos|Injector|Breaker|Respawn|FailAll|Reliable|Heartbeat|Failover|Replica|Checkpoint|Durable|Straggler|Orphan' \
+		-run 'Chaos|Injector|Breaker|Respawn|FailAll|Reliable|Heartbeat|Failover|Replica|Checkpoint|Durable|Straggler|Orphan|Budget|Overload|Burst|Shed|Deadline|Storm|Admission' \
 		./internal/chaos/ ./internal/rpc/ ./internal/runtime/ ./internal/store/ ./internal/controller/
 
 # Observability smoke run: a real TCP fleet with traced requests and a
@@ -35,6 +35,21 @@ live-smoke:
 	$(GO) run ./cmd/hivemind-live -replicas 3 -requests 10 -kill -trace live.json
 	$(GO) run ./cmd/hivemind-tracecheck -in live.json \
 		-tracks gateway,controller,rpc,runtime
+
+# Overload smoke run: an in-process fleet driven open-loop at 1.5x its
+# measured capacity for 30s. The gate inside the loadgen asserts the
+# admission controller shed something (the overload was real) while
+# admitted-request p99 held the SLO (the shedding protected latency).
+overload-smoke:
+	$(GO) run ./cmd/hivemind-loadgen -smoke -duration 30s -load 1.5
+
+# Gateway overload benchmark: the same fleet driven at 2x capacity with
+# admission control off, then on, recorded to BENCH_gateway.json. The
+# committed baseline shows the uncontrolled collapse (goodput craters,
+# p99 pegs at the deadline) against the controlled profile (goodput
+# holds at capacity, p99 stays low, excess is shed).
+bench-gateway:
+	$(GO) run ./cmd/hivemind-loadgen -compare -duration 10s -load 2 -json BENCH_gateway.json
 
 # RPC data-plane benchmarks, recorded as JSON under BENCH_LABEL
 # (default "post"). Existing labels in BENCH_rpc.json are preserved, so

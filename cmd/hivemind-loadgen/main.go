@@ -1,0 +1,391 @@
+// Command hivemind-loadgen is an open-loop constant-arrival load
+// generator for the gateway front door. Closed-loop drivers (fire,
+// wait, fire again) silently slow down when the target saturates —
+// coordinated omission — and so cannot see an overload collapse at
+// all. This generator schedules arrival i at start + i/rate regardless
+// of how the previous requests are faring, and measures each request's
+// latency from its *scheduled* arrival, so queueing delay the target
+// imposes is charged to the target, not hidden by the driver.
+//
+// By default it boots an in-process single-node gateway stack on
+// loopback TCP, calibrates its closed-loop saturation capacity, then
+// drives an open-loop run at -load times that capacity.
+//
+// Usage:
+//
+//	hivemind-loadgen -load 1.5 -duration 10s            # overload by 50%
+//	hivemind-loadgen -compare -json BENCH_gateway.json  # pre/post admission control
+//	hivemind-loadgen -smoke -duration 30s               # CI gate: sheds and holds p99
+//	hivemind-loadgen -burst 500                         # flash crowd mid-run
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	goruntime "runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hivemind/internal/chaos"
+	"hivemind/internal/metrics"
+	"hivemind/internal/rpc"
+	"hivemind/internal/runtime"
+	"hivemind/internal/stats"
+	"hivemind/internal/store"
+)
+
+type options struct {
+	rate      float64       // arrivals/s (0: load × calibrated capacity)
+	load      float64       // offered load as a multiple of capacity
+	duration  time.Duration // open-loop run length
+	exec      time.Duration // per-request function execution time
+	workers   int           // gateway MaxConcurrent
+	queue     int           // per-lane admission queue length (0: 2×workers)
+	deadline  time.Duration // per-request deadline (propagated on the wire)
+	slo       time.Duration // admitted-request p99 SLO (smoke gate)
+	conns     int           // client connections
+	admission bool          // enable the admission controller
+	smoke     bool          // assert sheds>0 and p99<=slo, exit 1 otherwise
+	compare   bool          // run pre- and post-admission, emit both
+	burst     int           // chaos.Burst extra arrivals fired mid-run
+	seed      int64
+	jsonPath  string
+	label     string
+}
+
+func main() {
+	var o options
+	flag.Float64Var(&o.rate, "rate", 0, "arrival rate in req/s (0: -load × calibrated capacity)")
+	flag.Float64Var(&o.load, "load", 1.5, "offered load as a multiple of calibrated capacity")
+	flag.DurationVar(&o.duration, "duration", 10*time.Second, "open-loop run length")
+	flag.DurationVar(&o.exec, "exec", 5*time.Millisecond, "simulated function execution time")
+	flag.IntVar(&o.workers, "workers", 32, "gateway MaxConcurrent (capacity = workers/exec)")
+	flag.IntVar(&o.queue, "queue", 0, "admission queue length per lane (0: 2×workers)")
+	flag.DurationVar(&o.deadline, "deadline", 500*time.Millisecond, "per-request deadline, propagated on the wire")
+	flag.DurationVar(&o.slo, "slo", 250*time.Millisecond, "admitted-request p99 SLO")
+	flag.IntVar(&o.conns, "conns", 4, "client connections")
+	flag.BoolVar(&o.admission, "admission", true, "enable the admission controller")
+	flag.BoolVar(&o.smoke, "smoke", false, "gate mode: fail unless the run shed load and held the p99 SLO")
+	flag.BoolVar(&o.compare, "compare", false, "run pre- and post-admission back to back")
+	flag.IntVar(&o.burst, "burst", 0, "extra arrivals injected as one mid-run flash crowd (chaos.Burst)")
+	flag.Int64Var(&o.seed, "seed", 1, "chaos seed")
+	flag.StringVar(&o.jsonPath, "json", "", "write results to this file in BENCH json format")
+	flag.StringVar(&o.label, "label", "gateway-overload", "top-level label in the json output")
+	flag.Parse()
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// result is one open-loop run's outcome (the json shape doubles as the
+// BENCH_gateway.json entry).
+type result struct {
+	Name        string  `json:"name"`
+	Admission   bool    `json:"admission"`
+	CapacityRPS float64 `json:"capacity_rps"` // calibrated closed-loop saturation
+	OfferedRPS  float64 `json:"offered_rps"`
+	GoodputRPS  float64 `json:"goodput_rps"` // OK responses per second
+	Offered     int64   `json:"offered"`
+	OK          int64   `json:"ok"`
+	Shed        int64   `json:"shed"`
+	Timeout     int64   `json:"timeout"`
+	Errors      int64   `json:"errors"`
+	P50Ms       float64 `json:"p50_ms"` // admitted (OK) requests, from scheduled arrival
+	P99Ms       float64 `json:"p99_ms"`
+	DroppedExp  uint64  `json:"server_dropped_expired"` // expired-in-queue drops server-side
+}
+
+func run(o options) error {
+	var results []result
+	if o.compare {
+		for _, adm := range []bool{false, true} {
+			oo := o
+			oo.admission = adm
+			r, err := runOnce(oo)
+			if err != nil {
+				return err
+			}
+			results = append(results, r)
+		}
+	} else {
+		r, err := runOnce(o)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+	}
+
+	if o.jsonPath != "" {
+		if err := writeJSON(o.jsonPath, o.label, results); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", o.jsonPath)
+	}
+	if o.smoke {
+		return smokeGate(o, results)
+	}
+	return nil
+}
+
+// smokeGate is the CI assertion: an overloaded, admission-controlled
+// gateway must shed (the queue is bounded) and what it admits must
+// meet the p99 SLO (the queue is short).
+func smokeGate(o options, results []result) error {
+	r := results[len(results)-1]
+	if !r.Admission {
+		return fmt.Errorf("smoke: run had no admission control")
+	}
+	if r.Shed == 0 {
+		return fmt.Errorf("smoke: overloaded gateway shed nothing (offered %.0f rps over %.0f rps capacity)",
+			r.OfferedRPS, r.CapacityRPS)
+	}
+	if sloMs := o.slo.Seconds() * 1e3; r.P99Ms > sloMs {
+		return fmt.Errorf("smoke: admitted p99 %.1fms exceeds SLO %.0fms", r.P99Ms, sloMs)
+	}
+	fmt.Printf("smoke ok: shed %d, admitted p99 %.1fms within %v SLO\n", r.Shed, r.P99Ms, o.slo)
+	return nil
+}
+
+// runOnce boots a stack, calibrates it, and drives one open-loop run.
+func runOnce(o options) (result, error) {
+	s, err := newStack(o)
+	if err != nil {
+		return result{}, err
+	}
+	defer s.close()
+
+	capacity := s.calibrate(o)
+	rate := o.rate
+	if rate <= 0 {
+		rate = o.load * capacity
+	}
+	if rate <= 0 {
+		return result{}, fmt.Errorf("calibration produced no capacity")
+	}
+
+	r := s.openLoop(o, rate)
+	r.CapacityRPS = capacity
+	r.Admission = o.admission
+	r.Name = fmt.Sprintf("openloop/admission=%v/load=%.2fx", o.admission, rate/capacity)
+	fmt.Printf("%-45s capacity %7.0f rps | offered %7.0f rps | goodput %7.0f rps | p50 %6.1fms p99 %6.1fms | ok %d shed %d timeout %d err %d | server expired-drops %d\n",
+		r.Name, capacity, r.OfferedRPS, r.GoodputRPS, r.P50Ms, r.P99Ms, r.OK, r.Shed, r.Timeout, r.Errors, r.DroppedExp)
+	return r, nil
+}
+
+// stack is the in-process target: one runtime+gateway on loopback TCP.
+type stack struct {
+	rt  *runtime.Runtime
+	gw  *runtime.Gateway
+	reg *metrics.Registry
+	inj *chaos.Injector
+	ln  net.Listener
+	cls []*rpc.Client
+}
+
+func newStack(o options) (*stack, error) {
+	rcfg := runtime.DefaultConfig()
+	rcfg.Retries = 0
+	// The runtime semaphore IS the backend's finite capacity (workers ×
+	// 1/exec rps). Without admission control the gateway lets arrivals
+	// pile up on this semaphore unboundedly — the collapse the -compare
+	// baseline exists to show. With admission on, MaxConcurrent equals
+	// the semaphore, so admitted work never queues behind it.
+	rcfg.MaxInFlight = o.workers
+	rt := runtime.New(rcfg, store.NewDB())
+	exec := o.exec
+	rt.Register("work", func(ctx context.Context, in []byte) ([]byte, error) {
+		select {
+		case <-time.After(exec):
+			return in, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+	gcfg := runtime.DefaultGatewayConfig()
+	gcfg.StepRespawns = 0
+	if o.admission {
+		gcfg.Overload = &runtime.AdmissionConfig{
+			MaxConcurrent: o.workers,
+			QueueLen:      o.queue,
+			RetryAfter:    50 * time.Millisecond,
+		}
+	}
+	g := runtime.NewGatewayConfig(rt, gcfg)
+	reg := metrics.NewRegistry()
+	g.SetMonitor(reg)
+	g.Expose("work", "work")
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		rt.Close()
+		return nil, err
+	}
+	go g.Server().Serve(ln)
+
+	// Size the caller pools so the client never blocks an arrival: the
+	// deadline bounds in-flight requests to ~rate×deadline, and the shed
+	// fast path keeps the true number far lower.
+	callers := 2048
+	cls := make([]*rpc.Client, o.conns)
+	for i := range cls {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			ln.Close()
+			rt.Close()
+			return nil, err
+		}
+		cls[i] = rpc.NewClient(conn, callers)
+	}
+	return &stack{
+		rt:  rt,
+		gw:  g,
+		reg: reg,
+		inj: chaos.NewInjector(o.seed, chaos.Config{}),
+		ln:  ln,
+		cls: cls,
+	}, nil
+}
+
+func (s *stack) close() {
+	for _, c := range s.cls {
+		c.Close()
+	}
+	s.gw.Close()
+	s.ln.Close()
+	s.rt.Close()
+}
+
+// calibrate measures closed-loop saturation: exactly MaxConcurrent
+// outstanding requests (no queueing, no shedding) for a short window.
+// This is the goodput ceiling the open-loop run is scored against.
+func (s *stack) calibrate(o options) float64 {
+	const window = time.Second
+	var done atomic.Int64
+	ctx, cancel := context.WithTimeout(context.Background(), window)
+	defer cancel()
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < o.workers; w++ {
+		wg.Add(1)
+		cl := s.cls[w%len(s.cls)]
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				rctx, rcancel := context.WithTimeout(context.Background(), 5*time.Second)
+				_, err := cl.Call(rctx, "work", []byte("x"))
+				rcancel()
+				if err == nil {
+					done.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return float64(done.Load()) / time.Since(start).Seconds()
+}
+
+// openLoop drives the target at a constant arrival rate for o.duration
+// and classifies every response.
+func (s *stack) openLoop(o options, rate float64) result {
+	burstOp := chaos.BurstOp("loadgen")
+	if o.burst > 0 {
+		s.inj.Burst(burstOp, o.duration/2, o.burst)
+	}
+	interval := time.Duration(float64(time.Second) / rate)
+	var (
+		offered, ok, shed, timeout, errs atomic.Int64
+		latMu                            sync.Mutex
+		lat                              = &stats.Sample{}
+		wg                               sync.WaitGroup
+		next                             uint64
+	)
+	fire := func(at time.Time) {
+		i := int(atomic.AddUint64(&next, 1))
+		cl := s.cls[i%len(s.cls)]
+		offered.Add(1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithDeadline(context.Background(), at.Add(o.deadline))
+			defer cancel()
+			_, err := cl.Call(ctx, "work", []byte("x"))
+			elapsed := time.Since(at) // from scheduled arrival: no omission
+			switch {
+			case err == nil:
+				ok.Add(1)
+				latMu.Lock()
+				lat.Add(elapsed.Seconds())
+				latMu.Unlock()
+			case rpc.IsShed(err):
+				shed.Add(1)
+			case rpc.IsDeadlineExceeded(err):
+				timeout.Add(1)
+			default:
+				errs.Add(1)
+			}
+		}()
+	}
+
+	start := time.Now()
+	end := start.Add(o.duration)
+	for i := 0; ; i++ {
+		at := start.Add(time.Duration(i) * interval)
+		if at.After(end) {
+			break
+		}
+		if d := time.Until(at); d > 0 {
+			time.Sleep(d)
+		}
+		// A scheduled arrival may ride with a chaos flash crowd: the burst
+		// requests share the tick's arrival instant.
+		for n := s.inj.BurstSize(burstOp); n > 0; n-- {
+			fire(at)
+		}
+		fire(at)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	latMu.Lock()
+	p50 := lat.Percentile(50) * 1e3
+	p99 := lat.Percentile(99) * 1e3
+	latMu.Unlock()
+	return result{
+		OfferedRPS: float64(offered.Load()) / elapsed,
+		GoodputRPS: float64(ok.Load()) / elapsed,
+		Offered:    offered.Load(),
+		OK:         ok.Load(),
+		Shed:       shed.Load(),
+		Timeout:    timeout.Load(),
+		Errors:     errs.Load(),
+		P50Ms:      p50,
+		P99Ms:      p99,
+		DroppedExp: s.gw.Server().DroppedExpired(),
+	}
+}
+
+// benchFile mirrors the BENCH_rpc.json shape so the existing tooling
+// reads both.
+type benchFile struct {
+	GOOS    string   `json:"goos"`
+	GOARCH  string   `json:"goarch"`
+	CPUs    int      `json:"cpus"`
+	Results []result `json:"results"`
+}
+
+func writeJSON(path, label string, results []result) error {
+	out := map[string]benchFile{
+		label: {GOOS: goruntime.GOOS, GOARCH: goruntime.GOARCH, CPUs: goruntime.NumCPU(), Results: results},
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -58,6 +58,12 @@ type FailoverOptions struct {
 	// Observer, when non-nil, is installed on every endpoint connection
 	// (initial and redials) to time each RPC hop.
 	Observer CallObserver
+	// Budget, when non-nil, bounds retry amplification across endpoint
+	// sweeps: re-attempts after transport failures withdraw one token
+	// each (leader redirects stay free — they are routing, not retry),
+	// successes deposit the earn ratio. Share one budget with the other
+	// retry layers of the process.
+	Budget *RetryBudget
 }
 
 // FailoverClient routes calls to the current primary of a replicated
@@ -174,6 +180,9 @@ func (f *FailoverClient) Call(ctx context.Context, method string, payload []byte
 		if err != nil {
 			lastErr = err
 			f.route(idx, -1)
+			if !f.opts.Budget.Withdraw() {
+				return nil, budgetExhausted(lastErr)
+			}
 			continue
 		}
 		actx := ctx
@@ -183,12 +192,14 @@ func (f *FailoverClient) Call(ctx context.Context, method string, payload []byte
 			out, err := cl.Call(actx, method, payload)
 			cancel()
 			if err == nil {
+				f.opts.Budget.Success()
 				return out, nil
 			}
 			lastErr = err
 		} else {
 			out, err := cl.Call(actx, method, payload)
 			if err == nil {
+				f.opts.Budget.Success()
 				return out, nil
 			}
 			lastErr = err
@@ -200,13 +211,19 @@ func (f *FailoverClient) Call(ctx context.Context, method string, payload []byte
 		var se ServerError
 		if errors.As(lastErr, &se) {
 			// A real application error from the serving primary: the
-			// request executed, re-routing cannot help.
+			// request executed, re-routing cannot help. Shed responses
+			// (rpc.IsShed) and expired-deadline drops take this path too —
+			// the primary is alive but refusing the work, so sweeping to a
+			// standby would only re-offer load the fleet just shed.
 			return nil, lastErr
 		}
 		if ctx.Err() != nil {
 			continue // surfaces at the top of the loop
 		}
 		f.route(idx, -1) // transport failure: sweep on
+		if !f.opts.Budget.Withdraw() {
+			return nil, budgetExhausted(lastErr)
+		}
 	}
 	return nil, fmt.Errorf("rpc: no endpoint served %s after %d attempts: %w", method, f.opts.Attempts, lastErr)
 }

@@ -36,6 +36,12 @@ type ReliableOptions struct {
 	// Observer, when non-nil, is installed on every underlying
 	// connection (initial and reconnects) to time each RPC hop.
 	Observer CallObserver
+	// Budget, when non-nil, bounds retry amplification: each retry
+	// withdraws one token, each success deposits the budget's earn
+	// ratio. Share one budget across every retry layer of a process
+	// (reliable retries, failover sweeps, gateway respawns) so stacked
+	// layers cannot multiply attempts during an outage.
+	Budget *RetryBudget
 }
 
 // DefaultReliableOptions returns the hardened-edge defaults: the §3.2
@@ -58,6 +64,12 @@ type ReliableStats struct {
 	Retries    int
 	Reconnects int
 	Rejected   int // shed by the open breaker
+	// Shed counts server-side shed responses (rpc.IsShed): the server
+	// refused the work to protect its SLO. Not a failure — the breaker
+	// does not count it — and never retried in the same call.
+	Shed int
+	// BudgetDenied counts retries the shared RetryBudget refused.
+	BudgetDenied int
 }
 
 // ReliableClient wraps the single-connection Client with the machinery
@@ -244,7 +256,19 @@ func (rc *ReliableClient) Call(ctx context.Context, method string, payload []byt
 		switch {
 		case err == nil:
 			rc.breaker.Record(true)
+			rc.opts.Budget.Success()
 			return out, nil
+		case IsShed(err):
+			// The server shed the request to protect its SLO: it never
+			// executed, and the server is alive — an overload signal, not
+			// a health signal. The breaker must not count it as a failure
+			// (a shedding server would otherwise trip breakers fleet-wide
+			// and turn recovery into a thundering herd), and retrying
+			// inside this call would amplify the very overload being
+			// shed; the retry-after hint is for the caller's next offer.
+			rc.breaker.Drop()
+			rc.bump(func(s *ReliableStats) { s.Shed++ })
+			return nil, err
 		case errors.As(err, &se):
 			// The handler executed and replied: the connection is
 			// healthy, even though the application call failed.
@@ -257,6 +281,10 @@ func (rc *ReliableClient) Call(ctx context.Context, method string, payload []byt
 		lastErr = err
 		if attempt >= rc.opts.Retry.Max || !rc.retryable(method, err) {
 			return nil, err
+		}
+		if !rc.opts.Budget.Withdraw() {
+			rc.bump(func(s *ReliableStats) { s.BudgetDenied++ })
+			return nil, budgetExhausted(lastErr)
 		}
 		rc.bump(func(s *ReliableStats) { s.Retries++ })
 		rc.mu.Lock()

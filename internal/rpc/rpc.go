@@ -45,6 +45,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Frame kinds.
@@ -59,6 +60,14 @@ const (
 	// a ping's payload back in a pong with the same call id.
 	kindPing = 5
 	kindPong = 6
+	// kindRequestDL is a request whose body starts with an 8-byte
+	// absolute deadline (UnixNano) ahead of the payload: wire-level
+	// deadline propagation. Servers drop a request whose deadline has
+	// already passed *before* executing it (see dispatcher.run), so an
+	// overloaded fleet stops burning capacity on responses nobody is
+	// waiting for. Plain kindRequest frames remain valid (no deadline),
+	// so v1 clients interoperate unchanged.
+	kindRequestDL = 7
 )
 
 // maxFrame bounds a frame to 64 MiB: larger than any sensor batch the
@@ -167,7 +176,17 @@ type Server struct {
 	closed    bool
 	workers   int
 	wg        sync.WaitGroup
+
+	// droppedExpired counts requests whose propagated deadline had
+	// already passed when a worker was about to execute them: dropped
+	// with a DeadlineExceededError instead of executed.
+	droppedExpired atomic.Uint64
 }
+
+// DroppedExpired reports how many requests were dropped before
+// execution because their wire-propagated deadline had already expired
+// (the overload e2e suite asserts expired work is never executed).
+func (s *Server) DroppedExpired() uint64 { return s.droppedExpired.Load() }
 
 // NewServer returns an empty server.
 func NewServer() *Server {
@@ -266,6 +285,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 		defer s.wg.Done()
 		w := newConnWriter(conn)
 		d := newDispatcher(w, workers)
+		d.dropped = &s.droppedExpired
 		defer func() {
 			s.lnMu.Lock()
 			delete(s.conns, conn)
@@ -283,6 +303,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 			if err != nil {
 				return
 			}
+			var deadlineNS int64
 			switch f.kind {
 			case kindPing:
 				// Answered directly from the read loop, out-of-band of
@@ -297,6 +318,12 @@ func (s *Server) ServeConn(conn net.Conn) {
 				d.cancelCall(f.callID)
 				continue
 			case kindRequest:
+			case kindRequestDL:
+				if len(f.payload) < 8 {
+					continue // malformed deadline frame
+				}
+				deadlineNS = int64(binary.BigEndian.Uint64(f.payload[:8]))
+				f.payload = f.payload[8:]
 			default:
 				continue
 			}
@@ -304,7 +331,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 			h, ok := s.handlers[string(f.method)] // alloc-free []byte map key
 			icept := s.interceptor
 			s.mu.RUnlock()
-			t := task{h: h.fn, callID: f.callID, payload: f.payload}
+			t := task{h: h.fn, callID: f.callID, payload: f.payload, deadlineNS: deadlineNS}
 			if !ok {
 				t.h = nil
 			} else if icept != nil {
@@ -319,8 +346,13 @@ func (s *Server) ServeConn(conn net.Conn) {
 			if ok && !h.plain {
 				// Context-aware handler: track it so cancel frames and
 				// teardown reach it. Plain handlers ignore their ctx, so
-				// the tracking (and its allocations) is skipped.
+				// the tracking (and its allocations) is skipped. The wire
+				// deadline (if any) surfaces through ctx.Deadline so
+				// handlers and everything they derive inherit it.
 				t.ctx = &reqCtx{}
+				if deadlineNS != 0 {
+					t.ctx.deadline = time.Unix(0, deadlineNS)
+				}
 				d.register(f.callID, t.ctx)
 			}
 			d.submit(t)
@@ -581,7 +613,19 @@ func (c *Client) start(ctx context.Context, kind byte, call *Call, payload []byt
 	c.pending[id] = call
 	c.mu.Unlock()
 
-	buf, err := encodeFrame(kind, id, call.Method, payload)
+	var buf *[]byte
+	var err error
+	if kind == kindRequest {
+		if dl, hasDL := ctx.Deadline(); hasDL {
+			// Propagate the caller's absolute deadline on the wire so the
+			// server can drop the request unexecuted once it expires.
+			buf, err = encodeFrameDL(id, call.Method, dl.UnixNano(), payload)
+		} else {
+			buf, err = encodeFrame(kind, id, call.Method, payload)
+		}
+	} else {
+		buf, err = encodeFrame(kind, id, call.Method, payload)
+	}
 	if err == nil {
 		// Inline enqueue: an idle writer flushes on this goroutine and
 		// reports the write error synchronously; under load the frame

@@ -3,8 +3,18 @@ package rpc
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// expiredBy reports how far past its deadline a request is, or a
+// negative duration when the deadline is unset or still ahead.
+func expiredBy(deadlineNS int64) time.Duration {
+	if deadlineNS == 0 {
+		return -1
+	}
+	return time.Duration(time.Now().UnixNano() - deadlineNS)
+}
 
 // defaultWorkers sizes the per-connection server worker pool, matching
 // the default client caller pool: the two ends of a connection can
@@ -18,6 +28,11 @@ const defaultWorkers = 64
 // cancel frames and connection teardown. The done channel is lazy:
 // most handlers never select on it.
 type reqCtx struct {
+	// deadline is the request's wire-propagated absolute deadline (zero:
+	// none). Written once before the task is submitted to the pool, read
+	// only afterwards, so it needs no locking.
+	deadline time.Time
+
 	mu   sync.Mutex
 	done chan struct{}
 	err  error
@@ -25,7 +40,7 @@ type reqCtx struct {
 
 var _ context.Context = (*reqCtx)(nil)
 
-func (c *reqCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *reqCtx) Deadline() (time.Time, bool) { return c.deadline, !c.deadline.IsZero() }
 
 func (c *reqCtx) Done() <-chan struct{} {
 	c.mu.Lock()
@@ -68,6 +83,10 @@ type task struct {
 	ctx     *reqCtx
 	callID  uint64
 	payload []byte
+	// deadlineNS is the request's wire-propagated absolute deadline
+	// (UnixNano; 0: none). Checked when a worker picks the task up: work
+	// that expired while queued is dropped, not executed.
+	deadlineNS int64
 }
 
 // dispatcher runs a connection's request handlers on a bounded pool of
@@ -88,6 +107,10 @@ type dispatcher struct {
 	mu      sync.Mutex
 	spawned int
 	idle    int
+
+	// dropped, when non-nil, counts requests dropped unexecuted because
+	// their deadline expired while they queued (the server's counter).
+	dropped *atomic.Uint64
 
 	// inflight maps live call ids to their request contexts so
 	// kindCancel frames and connection teardown can fire them.
@@ -185,7 +208,10 @@ func (d *dispatcher) worker(t task) {
 
 // run executes one handler and queues its response frame. Write
 // failures surface through connection teardown, exactly like the
-// pre-pool direct-write path.
+// pre-pool direct-write path. A request whose wire deadline expired
+// while it queued is dropped here — answered with a typed
+// DeadlineExceededError, never executed — so a backed-up pool stops
+// burning capacity on work the caller has already abandoned.
 func (d *dispatcher) run(t task) {
 	var ctx context.Context = context.Background()
 	if t.ctx != nil {
@@ -194,7 +220,13 @@ func (d *dispatcher) run(t task) {
 	}
 	kind := byte(kindResponse)
 	var out []byte
-	if t.h == nil {
+	if late := expiredBy(t.deadlineNS); late >= 0 && t.h != nil {
+		if d.dropped != nil {
+			d.dropped.Add(1)
+		}
+		kind = kindError
+		out = []byte((&DeadlineExceededError{Late: late}).Error())
+	} else if t.h == nil {
 		kind = kindError
 		out = []byte(ErrMethodNotFound.Error())
 	} else if res, err := t.h(ctx, t.payload); err != nil {

@@ -50,10 +50,17 @@ func putBuf(b *[]byte) {
 // appendFrame appends one encoded frame to dst and returns the
 // extended slice. The caller owns dst; nothing is retained.
 func appendFrame(dst []byte, kind byte, callID uint64, method string, payload []byte) ([]byte, error) {
+	return appendFrame2(dst, kind, callID, method, nil, payload)
+}
+
+// appendFrame2 is appendFrame with the body split in two parts (prefix
+// then payload), gathered into one contiguous frame without an
+// intermediate concatenation.
+func appendFrame2(dst []byte, kind byte, callID uint64, method string, prefix, payload []byte) ([]byte, error) {
 	if len(method) > 0xFFFF {
 		return dst, errors.New("rpc: method name too long")
 	}
-	n := 1 + 8 + 2 + len(method) + len(payload)
+	n := 1 + 8 + 2 + len(method) + len(prefix) + len(payload)
 	if n > maxFrame {
 		return dst, fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
 	}
@@ -75,6 +82,7 @@ func appendFrame(dst []byte, kind byte, callID uint64, method string, payload []
 	hdr[14] = byte(len(method))
 	dst = append(dst, hdr[:]...)
 	dst = append(dst, method...)
+	dst = append(dst, prefix...)
 	dst = append(dst, payload...)
 	return dst, nil
 }
@@ -83,6 +91,29 @@ func appendFrame(dst []byte, kind byte, callID uint64, method string, payload []
 func encodeFrame(kind byte, callID uint64, method string, payload []byte) (*[]byte, error) {
 	buf := getBuf()
 	b, err := appendFrame((*buf)[:0], kind, callID, method, payload)
+	if err != nil {
+		putBuf(buf)
+		return nil, err
+	}
+	*buf = b
+	return buf, nil
+}
+
+// encodeFrameDL encodes a kindRequestDL frame: the absolute deadline
+// (UnixNano) rides as an 8-byte prefix of the frame body, ahead of the
+// payload, so deadline propagation costs no extra copy of the payload.
+func encodeFrameDL(callID uint64, method string, deadlineNS int64, payload []byte) (*[]byte, error) {
+	var dl [8]byte
+	dl[0] = byte(deadlineNS >> 56)
+	dl[1] = byte(deadlineNS >> 48)
+	dl[2] = byte(deadlineNS >> 40)
+	dl[3] = byte(deadlineNS >> 32)
+	dl[4] = byte(deadlineNS >> 24)
+	dl[5] = byte(deadlineNS >> 16)
+	dl[6] = byte(deadlineNS >> 8)
+	dl[7] = byte(deadlineNS)
+	buf := getBuf()
+	b, err := appendFrame2((*buf)[:0], kindRequestDL, callID, method, dl[:], payload)
 	if err != nil {
 		putBuf(buf)
 		return nil, err

@@ -1,0 +1,359 @@
+package runtime
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hivemind/internal/rpc"
+)
+
+// testAdmission builds a bare admission controller (no monitor, no
+// runtime) for direct unit testing.
+func testAdmission(cfg AdmissionConfig) *admission {
+	return newAdmission(&Gateway{}, cfg)
+}
+
+func TestAdmissionFastPath(t *testing.T) {
+	a := testAdmission(AdmissionConfig{MaxConcurrent: 2})
+	rel1, err := a.admit(context.Background(), "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := a.admit(context.Background(), "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.mu.Lock()
+	active := a.active
+	a.mu.Unlock()
+	if active != 2 {
+		t.Fatalf("active = %d, want 2", active)
+	}
+	rel1()
+	rel2()
+	a.mu.Lock()
+	active = a.active
+	a.mu.Unlock()
+	if active != 0 {
+		t.Fatalf("active after release = %d, want 0", active)
+	}
+}
+
+func TestAdmissionQueueFullSheds(t *testing.T) {
+	a := testAdmission(AdmissionConfig{MaxConcurrent: 1, QueueLen: 1, RetryAfter: 40 * time.Millisecond})
+	release, err := a.admit(context.Background(), "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the single queue slot.
+	granted := make(chan error, 1)
+	go func() {
+		rel, err := a.admit(context.Background(), "m")
+		if err == nil {
+			rel()
+		}
+		granted <- err
+	}()
+	waitCond(t, func() bool {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return a.queued == 1
+	})
+	// The queue is full: the next arrival is shed immediately with the
+	// configured retry-after hint.
+	_, err = a.admit(context.Background(), "m")
+	if !rpc.IsShed(err) {
+		t.Fatalf("err = %v, want shed", err)
+	}
+	if ra, ok := rpc.ShedRetryAfter(err); !ok || ra != 40*time.Millisecond {
+		t.Fatalf("retry-after = %v, %v", ra, ok)
+	}
+	if a.shedFull.Load() != 1 {
+		t.Fatalf("shedFull = %d", a.shedFull.Load())
+	}
+	release()
+	if err := <-granted; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+}
+
+func TestAdmissionControlLaneBeatsBatch(t *testing.T) {
+	a := testAdmission(AdmissionConfig{
+		MaxConcurrent: 1,
+		QueueLen:      8,
+		Lanes:         map[string]Lane{"ctl": LaneControl, "bat": LaneBatch},
+	})
+	release, err := a.admit(context.Background(), "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := make(chan string, 2)
+	var wg sync.WaitGroup
+	spawn := func(method string, wantQueued int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, err := a.admit(context.Background(), method)
+			if err != nil {
+				t.Errorf("%s: %v", method, err)
+				return
+			}
+			order <- method
+			rel()
+		}()
+		waitCond(t, func() bool {
+			a.mu.Lock()
+			defer a.mu.Unlock()
+			return a.queued == wantQueued
+		})
+	}
+	// Enqueue batch first, control second: grant order must invert it.
+	spawn("bat", 1)
+	spawn("ctl", 2)
+	release()
+	wg.Wait()
+	close(order)
+	var got []string
+	for m := range order {
+		got = append(got, m)
+	}
+	if len(got) != 2 || got[0] != "ctl" || got[1] != "bat" {
+		t.Fatalf("grant order = %v, want [ctl bat]", got)
+	}
+}
+
+func TestAdmissionCancelledWaiterFreesQueue(t *testing.T) {
+	a := testAdmission(AdmissionConfig{MaxConcurrent: 1, QueueLen: 4})
+	release, err := a.admit(context.Background(), "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.admit(ctx, "m")
+		done <- err
+	}()
+	waitCond(t, func() bool {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return a.queued == 1
+	})
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter err = %v", err)
+	}
+	a.mu.Lock()
+	queued := a.queued
+	a.mu.Unlock()
+	if queued != 0 {
+		t.Fatalf("queued after cancel = %d", queued)
+	}
+	// The slot the cancelled waiter never took is still grantable.
+	release()
+	rel, err := a.admit(context.Background(), "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+}
+
+// TestAdmissionCoDelShedsUnderSustainedDelay drives the queue so its
+// standing delay stays above Target for longer than Interval and checks
+// the control law starts shedding at dequeue.
+func TestAdmissionCoDelShedsUnderSustainedDelay(t *testing.T) {
+	a := testAdmission(AdmissionConfig{
+		MaxConcurrent: 1,
+		QueueLen:      64,
+		Target:        time.Millisecond,
+		Interval:      10 * time.Millisecond,
+	})
+	release, err := a.admit(context.Background(), "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const waiters = 30
+	var shed, admitted atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, err := a.admit(context.Background(), "m")
+			if rpc.IsShed(err) {
+				shed.Add(1)
+				return
+			}
+			if err != nil {
+				t.Errorf("admit: %v", err)
+				return
+			}
+			admitted.Add(1)
+			time.Sleep(5 * time.Millisecond) // hold the slot: delay stays high
+			rel()
+		}()
+	}
+	waitCond(t, func() bool {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return a.queued == waiters
+	})
+	time.Sleep(15 * time.Millisecond) // sojourn grows past Target for > Interval
+	release()
+	wg.Wait()
+	if shed.Load() == 0 {
+		t.Fatal("sustained standing delay shed nothing")
+	}
+	if admitted.Load() == 0 {
+		t.Fatal("CoDel shed everything: control law too aggressive")
+	}
+	if got := shed.Load() + admitted.Load(); got != waiters {
+		t.Fatalf("accounted waiters = %d, want %d", got, waiters)
+	}
+	if a.shedCoDel.Load() != uint64(shed.Load()) {
+		t.Fatalf("shedCoDel = %d, shed callers = %d", a.shedCoDel.Load(), shed.Load())
+	}
+}
+
+// TestGatewayOverloadSheds drives an Overload-configured gateway past
+// capacity end to end and checks sheds surface as rpc.ShedError with
+// the shed/ok counters split correctly.
+func TestGatewayOverloadSheds(t *testing.T) {
+	rt := New(DefaultConfig(), nil)
+	defer rt.Close()
+	block := make(chan struct{})
+	rt.Register("hold", func(ctx context.Context, in []byte) ([]byte, error) {
+		select {
+		case <-block:
+			return bytes.ToUpper(in), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+	cfg := DefaultGatewayConfig()
+	cfg.Overload = &AdmissionConfig{MaxConcurrent: 2, QueueLen: 2, RetryAfter: 25 * time.Millisecond}
+	g := NewGatewayConfig(rt, cfg)
+	mon := &overloadMonitor{}
+	g.SetMonitor(mon)
+	g.Expose("m", "hold")
+	c := gatewayPair(t, g)
+
+	const calls = 8 // 2 run, 2 queue, 4 shed
+	errs := make(chan error, calls)
+	for i := 0; i < calls; i++ {
+		go func() {
+			_, err := c.CallSync("m", []byte("x"))
+			errs <- err
+		}()
+	}
+	waitCond(t, func() bool {
+		s := g.AdmissionStats()
+		return s.ShedFull == calls-4
+	})
+	close(block)
+	var shed, ok int
+	for i := 0; i < calls; i++ {
+		switch err := <-errs; {
+		case err == nil:
+			ok++
+		case rpc.IsShed(err):
+			if _, hasHint := rpc.ShedRetryAfter(err); !hasHint {
+				t.Errorf("shed without retry-after hint: %v", err)
+			}
+			shed++
+		default:
+			t.Errorf("unexpected error: %v", err)
+		}
+	}
+	if shed != 4 || ok != 4 {
+		t.Fatalf("shed = %d, ok = %d, want 4/4", shed, ok)
+	}
+	if got := mon.get("gateway-shed"); got != 4 {
+		t.Fatalf("gateway-shed count = %d, want 4", got)
+	}
+	if got := mon.get("gateway-ok"); got != 4 {
+		t.Fatalf("gateway-ok count = %d, want 4", got)
+	}
+	if got := mon.get("gateway-error"); got != 0 {
+		t.Fatalf("sheds leaked into gateway-error: %d", got)
+	}
+}
+
+// TestGatewayDropsExpiredBeforeDispatch checks the gateway refuses to
+// dispatch work whose wire deadline already passed, counting it as an
+// expired drop rather than executing it.
+func TestGatewayDropsExpiredBeforeDispatch(t *testing.T) {
+	rt := New(DefaultConfig(), nil)
+	defer rt.Close()
+	var executed atomic.Int64
+	rt.Register("f", func(ctx context.Context, in []byte) ([]byte, error) {
+		executed.Add(1)
+		return in, nil
+	})
+	g := NewGateway(rt, time.Second)
+	mon := &overloadMonitor{}
+	g.SetMonitor(mon)
+	g.Expose("m", "f")
+	c := gatewayPair(t, g)
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := c.Call(ctx, "m", []byte("x"))
+	if err == nil {
+		t.Fatal("expired call succeeded")
+	}
+	if executed.Load() != 0 {
+		t.Fatalf("expired request executed %d times", executed.Load())
+	}
+}
+
+// overloadMonitor is a concurrency-safe GatewayMonitor with gauges.
+type overloadMonitor struct {
+	mu     sync.Mutex
+	counts map[string]int
+	gauges map[string]float64
+}
+
+func (m *overloadMonitor) CountEvent(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.counts == nil {
+		m.counts = map[string]int{}
+	}
+	m.counts[name]++
+}
+
+func (m *overloadMonitor) Observe(string, float64) {}
+
+func (m *overloadMonitor) SetGauge(name string, v float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.gauges == nil {
+		m.gauges = map[string]float64{}
+	}
+	m.gauges[name] = v
+}
+
+func (m *overloadMonitor) get(name string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counts[name]
+}
+
+// waitCond polls until cond holds or the test deadline approaches.
+func waitCond(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	t.Fatal("condition never held")
+}

@@ -56,6 +56,17 @@ type GatewayConfig struct {
 	// replica's Admission() returns rpc.NotLeaderError on standbys so
 	// leader-following clients re-route instead of forking a chain.
 	Admission func() error
+	// Overload, when set, puts the gateway behind the bounded per-lane
+	// admission queues (admission.go): work beyond MaxConcurrent queues
+	// per priority lane, queue-full and CoDel-style sustained-delay
+	// overflow is shed with an rpc.ShedError carrying a retry-after
+	// hint, and control-plane lanes are granted ahead of batch.
+	Overload *AdmissionConfig
+	// RetryBudget, when set, gates chain-step respawns: each respawn
+	// withdraws one token, each completed task deposits the earn ratio.
+	// Share it with the process's rpc clients so the gateway's respawn
+	// layer cannot multiply retries the lower layers already spent.
+	RetryBudget *rpc.RetryBudget
 	// Tracker, when set, mirrors in-flight chains into the replicated
 	// task table.
 	Tracker TaskTracker
@@ -91,6 +102,7 @@ type Gateway struct {
 	srv     *rpc.Server
 	cfg     GatewayConfig
 	monitor GatewayMonitor
+	adm     *admission // nil unless cfg.Overload is set
 
 	mu     sync.Mutex
 	chains map[string][]string // chain method -> tier functions (for Recover)
@@ -115,7 +127,11 @@ func NewGatewayConfig(rt *Runtime, cfg GatewayConfig) *Gateway {
 	if cfg.StepRespawns < 0 {
 		cfg.StepRespawns = 0
 	}
-	return &Gateway{rt: rt, srv: rpc.NewServer(), cfg: cfg, chains: make(map[string][]string)}
+	g := &Gateway{rt: rt, srv: rpc.NewServer(), cfg: cfg, chains: make(map[string][]string)}
+	if cfg.Overload != nil {
+		g.adm = newAdmission(g, *cfg.Overload)
+	}
+	return g
 }
 
 // SetMonitor installs a metrics sink (nil disables reporting). Must be
@@ -138,13 +154,55 @@ func (g *Gateway) observe(name string, d time.Duration) {
 	}
 }
 
+// gauge reports a level (queue depth, active slots) when the monitor
+// supports gauges (metrics.Registry does; the interface stays narrow for
+// sinks that only count).
+func (g *Gateway) gauge(name string, v float64) {
+	if g.monitor == nil {
+		return
+	}
+	if sg, ok := g.monitor.(interface{ SetGauge(string, float64) }); ok {
+		sg.SetGauge(name, v)
+	}
+}
+
 // callCtx derives the per-call context from the connection's context so
-// client cancellation and disconnects propagate into the runtime.
+// client cancellation and disconnects propagate into the runtime. The
+// connection context carries the wire-propagated request deadline but
+// never fires a timer of its own (internal/rpc.reqCtx is passive), so
+// the gateway arms the timer here: the earlier of the configured Timeout
+// and the caller's deadline bounds the work.
 func (g *Gateway) callCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	d, hasD := ctx.Deadline()
 	if g.cfg.Timeout > 0 {
-		return context.WithTimeout(ctx, g.cfg.Timeout)
+		if t := time.Now().Add(g.cfg.Timeout); !hasD || t.Before(d) {
+			return context.WithDeadline(ctx, t)
+		}
+	}
+	if hasD {
+		// context.WithDeadline with d equal to the parent's deadline still
+		// arms a real timer (the parent's is not strictly earlier), which
+		// is the point: reqCtx never fires its own.
+		return context.WithDeadline(ctx, d)
 	}
 	return context.WithCancel(ctx)
+}
+
+// dropExpired sheds a request whose wire deadline already passed before
+// any work was dispatched — admission queueing may have consumed the
+// caller's whole budget. Executing it would burn capacity on an answer
+// nobody is waiting for, the §3.2 overload spiral.
+func (g *Gateway) dropExpired(ctx context.Context) error {
+	d, ok := ctx.Deadline()
+	if !ok {
+		return nil
+	}
+	late := time.Since(d)
+	if late < 0 {
+		return nil
+	}
+	g.count("gateway-expired-drop")
+	return &rpc.DeadlineExceededError{Late: late}
 }
 
 // Expose registers a runtime function under an RPC method name. The
@@ -153,6 +211,18 @@ func (g *Gateway) Expose(method, function string) {
 	g.srv.RegisterCtx(method, func(ctx context.Context, payload []byte) ([]byte, error) {
 		start := time.Now()
 		env, body, _ := DecodeTaskEnvelope(payload)
+		if g.adm != nil {
+			release, aerr := g.adm.admit(ctx, method)
+			if aerr != nil {
+				g.countFailure(ctx, aerr)
+				return nil, aerr
+			}
+			defer release()
+		}
+		if derr := g.dropExpired(ctx); derr != nil {
+			g.countFailure(ctx, derr)
+			return nil, derr
+		}
 		ctx, cancel := g.callCtx(ctx)
 		defer cancel()
 		octx, obs := g.observeTask(ctx, method, env.Trace.TraceID, env, start)
@@ -160,20 +230,30 @@ func (g *Gateway) Expose(method, function string) {
 		obs.finish(err)
 		g.observe("gateway-latency", time.Since(start))
 		if err != nil {
-			g.countFailure(ctx)
+			g.countFailure(ctx, err)
 			return nil, err
 		}
+		g.cfg.RetryBudget.Success()
 		g.count("gateway-ok")
 		return res.Output, nil
 	})
 }
 
-func (g *Gateway) countFailure(ctx context.Context) {
-	if ctx.Err() != nil {
+// countFailure classifies a failed request into the three counters the
+// monitoring plane keys on: shed (refused unexecuted, an overload
+// signal), timeout (deadline or cancellation spent the work), and
+// execution error (the function itself failed). Conflating them is how
+// breakers and dashboards mistake a shedding-but-healthy gateway for a
+// dying one.
+func (g *Gateway) countFailure(ctx context.Context, err error) {
+	switch {
+	case rpc.IsShed(err):
+		g.count("gateway-shed")
+	case rpc.IsDeadlineExceeded(err) || ctx.Err() != nil:
 		g.count("gateway-timeout")
-		return
+	default:
+		g.count("gateway-error")
 	}
-	g.count("gateway-error")
 }
 
 // taskMagic prefixes payloads that carry an explicit task id (see
@@ -247,6 +327,20 @@ func (g *Gateway) ExposeChain(method string, functions []string) {
 				return nil, err
 			}
 		}
+		if g.adm != nil {
+			release, aerr := g.adm.admit(octx, method)
+			if aerr != nil {
+				obs.finish(aerr)
+				g.countFailure(octx, aerr)
+				return nil, aerr
+			}
+			defer release()
+		}
+		if derr := g.dropExpired(octx); derr != nil {
+			obs.finish(derr)
+			g.countFailure(octx, derr)
+			return nil, derr
+		}
 		octx, cancel := g.callCtx(octx)
 		defer cancel()
 		var data []byte
@@ -258,9 +352,10 @@ func (g *Gateway) ExposeChain(method string, functions []string) {
 		}
 		obs.finish(err)
 		if err != nil {
-			g.countFailure(octx)
+			g.countFailure(octx, err)
 			return nil, err
 		}
+		g.cfg.RetryBudget.Success()
 		g.observe("gateway-chain-latency", time.Since(start))
 		g.count("gateway-ok")
 		return data, nil
@@ -403,6 +498,15 @@ func (g *Gateway) runStep(ctx context.Context, method, fn string, input []byte) 
 	var lastErr error
 	for attempt := 0; attempt <= g.cfg.StepRespawns; attempt++ {
 		if attempt > 0 {
+			// The respawn layer spends from the same retry budget as the
+			// process's rpc clients: during a real outage every stacked
+			// retry layer wants to multiply attempts at once, and the
+			// shared budget is what keeps the product bounded (§3.2's
+			// respawns assume a healthy tier, not a drowning one).
+			if !g.cfg.RetryBudget.Withdraw() {
+				g.count("gateway-respawn-denied")
+				return nil, lastErr
+			}
 			g.count("gateway-respawn")
 			if g.cfg.RespawnDelay > 0 {
 				sleepCtx(ctx, g.cfg.RespawnDelay)
