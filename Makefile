@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-eval chaos live-smoke overload-smoke bench bench-eval bench-gateway bench-all sweep sweep-parity examples fmt vet clean
+.PHONY: all build test race race-eval chaos crash-smoke live-smoke overload-smoke bench bench-eval bench-gateway bench-store bench-all sweep sweep-parity examples fmt vet clean
 
 all: build vet test
 
@@ -25,8 +25,17 @@ race-eval:
 # (fixed seeds baked into the tests), so this run is deterministic.
 chaos:
 	$(GO) test -race -count=1 \
-		-run 'Chaos|Injector|Breaker|Respawn|FailAll|Reliable|Heartbeat|Failover|Replica|Checkpoint|Durable|Straggler|Orphan|Budget|Overload|Burst|Shed|Deadline|Storm|Admission' \
+		-run 'Chaos|Injector|Breaker|Respawn|FailAll|Reliable|Heartbeat|Failover|Replica|Checkpoint|Durable|Straggler|Orphan|Budget|Overload|Burst|Shed|Deadline|Storm|Admission|Fenced|Fence|Partition|WAL|CrashRestart|Snapshot|StepDown' \
 		./internal/chaos/ ./internal/rpc/ ./internal/runtime/ ./internal/store/ ./internal/controller/
+
+# Durability & split-brain lane under -race: whole-cluster crash and
+# WAL recovery, minority-leader fencing across a symmetric partition,
+# snapshot/compaction bounding recovery, plus the store-level torn-tail
+# and fence unit suites. Seeded and deterministic like the chaos lane.
+crash-smoke:
+	$(GO) test -race -count=1 \
+		-run 'CrashRestartE2E|PartitionE2E|SnapshotMidTraffic|PartitionPair|DurableRecover|DurableSnapshot|DurableCompaction|RaiseFence|FenceSurvives|FencedWrites|WALTornTail|OrphansQuarantines|HandleLease|StepDown|OnPromote' \
+		./internal/chaos/ ./internal/store/ ./internal/controller/
 
 # Observability smoke run: a real TCP fleet with traced requests and a
 # chaos-killed primary must emit a non-empty, valid Chrome trace whose
@@ -74,6 +83,17 @@ bench-eval:
 		./internal/sim/ >> bench_eval.out
 	$(GO) run ./cmd/hivemind-benchjson -in bench_eval.out -out BENCH_eval.json -label $(BENCH_LABEL)
 	rm -f bench_eval.out
+
+# Store durability benchmarks: WAL append overhead on the write path
+# (fsync off and group-commit) and recovery time at 10k-update history
+# before vs after compaction, recorded under BENCH_LABEL. Existing
+# labels in BENCH_store.json are preserved, so the committed baseline
+# survives re-runs.
+bench-store:
+	$(GO) test -run '^$$' -bench '^(BenchmarkDurablePut|BenchmarkWALAppend|BenchmarkRecover)' \
+		-benchmem -count=1 ./internal/store/ > bench_store.out
+	$(GO) run ./cmd/hivemind-benchjson -in bench_store.out -out BENCH_store.json -label $(BENCH_LABEL)
+	rm -f bench_store.out
 
 # Every benchmark in the repo, human-readable.
 bench-all:

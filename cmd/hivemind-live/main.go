@@ -49,17 +49,19 @@ func main() {
 		kill     = flag.Bool("kill", false, "crash the primary replica midway through the run")
 		seed     = flag.Int64("seed", 1, "chaos/election seed")
 		traceFn  = flag.String("trace", "", "write the fleet's Chrome trace to this file")
+		walDir   = flag.String("wal-dir", "",
+			"durable store directory: recover prior state from its snapshot+WAL and write-ahead log this run (empty: in-memory)")
 		httpAddr = flag.String("http", "",
 			"after the run, keep serving /metrics, /trace and /debug/pprof on this address")
 	)
 	flag.Parse()
-	if err := run(*replicas, *requests, *kill, *seed, *traceFn, *httpAddr); err != nil {
+	if err := run(*replicas, *requests, *kill, *seed, *traceFn, *walDir, *httpAddr); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(replicas, requests int, kill bool, seed int64, traceFn, httpAddr string) error {
+func run(replicas, requests int, kill bool, seed int64, traceFn, walDir, httpAddr string) error {
 	if replicas < 1 {
 		return fmt.Errorf("need at least 1 replica, got %d", replicas)
 	}
@@ -68,7 +70,24 @@ func run(replicas, requests int, kill bool, seed int64, traceFn, httpAddr string
 	reg := metrics.NewRegistry()
 	mon := controller.NewMonitor()
 	inj := chaos.NewInjector(seed, chaos.Config{})
-	db := store.NewDB()
+
+	var db *store.DB
+	if walDir != "" {
+		opts := store.DefaultDurableOptions()
+		opts.Fsync = store.FsyncBatch
+		opts.Monitor = reg
+		ddb, st, err := store.OpenDurable(walDir, opts)
+		if err != nil {
+			return fmt.Errorf("open durable store %s: %w", walDir, err)
+		}
+		defer ddb.Close()
+		db = ddb
+		fmt.Printf("recovered %s in %v: %d snapshot docs + %d WAL records (torn tail: %v), fence at term %d\n",
+			walDir, st.Elapsed.Round(time.Microsecond), st.SnapshotDocs, st.WALRecords, st.TruncatedTail, ddb.Fence())
+	} else {
+		db = store.NewDB()
+		db.SetMonitor(reg)
+	}
 
 	nodes, err := startFleet(replicas, seed, live, reg, mon, inj, db)
 	if err != nil {
@@ -170,7 +189,6 @@ func run(replicas, requests int, kill bool, seed int64, traceFn, httpAddr string
 // server interceptor timing every inbound hop.
 func startFleet(n int, seed int64, live *trace.Live, reg *metrics.Registry,
 	mon *controller.Monitor, inj *chaos.Injector, db *store.DB) ([]*liveNode, error) {
-	log := store.NewCheckpointLog(db)
 	chain, fns := demoChain()
 
 	ctrlLns := make([]net.Listener, n)
@@ -200,6 +218,10 @@ func startFleet(n int, seed int64, live *trace.Live, reg *metrics.Registry,
 		ccfg.LeaseInterval = 50 * time.Millisecond
 		ccfg.VoteTimeout = 100 * time.Millisecond
 		ccfg.Fault = inj
+		// A fleet restarted over recovered state must resume terms above
+		// the persisted fence, and every promotion raises it.
+		ccfg.InitialTerm = db.Fence()
+		ccfg.OnPromote = func(term uint64) { db.RaiseFence(term) }
 		ccfg.Recover = func(ctx context.Context) (int, error) {
 			if g := gwPtr.Load(); g != nil {
 				return g.Recover(ctx)
@@ -221,7 +243,11 @@ func startFleet(n int, seed int64, live *trace.Live, reg *metrics.Registry,
 		gcfg := runtime.DefaultGatewayConfig()
 		gcfg.Timeout = 10 * time.Second
 		gcfg.RespawnDelay = 20 * time.Millisecond
-		gcfg.Checkpoints = log
+		// Checkpoint commits carry this node's last-won term so a deposed
+		// primary's in-flight chains bounce off the store fence; a fenced
+		// write also tells the replica to step down immediately.
+		gcfg.Checkpoints = store.NewFencedCheckpointLog(db, rep.LeaderTerm)
+		gcfg.OnFenced = rep.StepDown
 		gcfg.Admission = rep.Admission()
 		gcfg.Tracker = rep
 		gcfg.Tracer = live

@@ -80,7 +80,8 @@ type Injector struct {
 	cfg Config
 
 	partition Direction
-	partCh    chan struct{} // closed to release blocked readers on Heal
+	pairParts map[string]bool // canonical pair key -> partitioned
+	partCh    chan struct{}   // closed to release blocked readers on Heal
 
 	// script, when non-empty, overrides probabilities for Fault: each
 	// call pops one decision. Deterministic tests prefer scripts.
@@ -226,13 +227,55 @@ func (in *Injector) Partition(d Direction) {
 	in.partition = d
 }
 
-// Heal clears any partition and wakes blocked readers.
+// Heal clears every partition — global and pair-wise — and wakes
+// blocked readers.
 func (in *Injector) Heal() {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.partition = 0
+	in.pairParts = nil
 	close(in.partCh)
 	in.partCh = make(chan struct{})
+}
+
+// pairKey canonicalises an unordered endpoint pair.
+func pairKey(a, b string) string {
+	if b < a {
+		a, b = b, a
+	}
+	return a + "|" + b
+}
+
+// PartitionPair blackholes the link between the two named endpoints on
+// every connection wrapped with WrapConnPair for that pair, in both
+// directions, until HealPair or Heal: writes vanish (they "succeed",
+// exactly like packets dropped in flight) and reads park. Other pairs
+// keep flowing, so a test can cut one replica off from a quorum while
+// the majority side keeps talking — the classic minority-partition
+// split-brain setup.
+func (in *Injector) PartitionPair(a, b string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.pairParts == nil {
+		in.pairParts = map[string]bool{}
+	}
+	in.pairParts[pairKey(a, b)] = true
+}
+
+// HealPair reconnects one endpoint pair and wakes its blocked readers.
+func (in *Injector) HealPair(a, b string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.pairParts, pairKey(a, b))
+	close(in.partCh)
+	in.partCh = make(chan struct{})
+}
+
+// PairPartitioned reports whether the link between a and b is cut.
+func (in *Injector) PairPartitioned(a, b string) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.pairParts[pairKey(a, b)]
 }
 
 // Stats reports how many faults of each kind were injected.
@@ -318,6 +361,15 @@ func (in *Injector) WrapConn(c net.Conn) net.Conn {
 	return &conn{Conn: c, in: in, closed: make(chan struct{})}
 }
 
+// WrapConnPair interposes the injector on a connection and tags it
+// with the unordered endpoint pair (a, b), making it subject to
+// PartitionPair in addition to every global fault. Wrapping the
+// dialing side of a duplex link is enough for a symmetric cut: its
+// writes vanish and its reads park, so neither direction delivers.
+func (in *Injector) WrapConnPair(c net.Conn, a, b string) net.Conn {
+	return &conn{Conn: c, in: in, pair: pairKey(a, b), closed: make(chan struct{})}
+}
+
 // WrapListener interposes the injector on every accepted connection.
 func (in *Injector) WrapListener(l net.Listener) net.Listener {
 	return &listener{Listener: l, in: in}
@@ -339,7 +391,8 @@ func (l *listener) Accept() (net.Conn, error) {
 // conn is the fault-injecting connection wrapper.
 type conn struct {
 	net.Conn
-	in *Injector
+	in   *Injector
+	pair string // canonical pair key ("" when not pair-tagged)
 
 	closeOnce sync.Once
 	closed    chan struct{}
@@ -386,12 +439,42 @@ func (c *conn) blockWhilePartitioned(dir Direction) bool {
 	}
 }
 
+// pairCut reports whether this connection's pair is partitioned, with
+// the heal channel to wait on.
+func (c *conn) pairCut() (bool, chan struct{}) {
+	if c.pair == "" {
+		return false, nil
+	}
+	c.in.mu.Lock()
+	defer c.in.mu.Unlock()
+	return c.in.pairParts[c.pair], c.in.partCh
+}
+
+// blockWhilePairCut parks until this connection's pair heals or the
+// connection closes; reports whether the connection closed.
+func (c *conn) blockWhilePairCut() bool {
+	for {
+		cut, ch := c.pairCut()
+		if !cut {
+			return false
+		}
+		select {
+		case <-ch: // a heal happened; re-check this pair
+		case <-c.closed:
+			return true
+		}
+	}
+}
+
 func (c *conn) Read(p []byte) (int, error) {
 	drop, _, delay, part, _ := c.in.decide()
 	if part&Inbound != 0 {
 		if c.blockWhilePartitioned(Inbound) {
 			return 0, fmt.Errorf("%w: read on dropped connection", ErrInjected)
 		}
+	}
+	if c.blockWhilePairCut() {
+		return 0, fmt.Errorf("%w: read on dropped connection", ErrInjected)
 	}
 	c.await(delay)
 	if drop {
@@ -408,6 +491,9 @@ func (c *conn) Write(p []byte) (int, error) {
 		// One-way partition: the write vanishes but "succeeds" — the
 		// sender cannot distinguish this from slow delivery.
 		return len(p), nil
+	}
+	if cut, _ := c.pairCut(); cut {
+		return len(p), nil // pair cut: the bytes drop in flight
 	}
 	if truncate && len(p) > 1 {
 		n, _ := c.Conn.Write(p[:len(p)/2])

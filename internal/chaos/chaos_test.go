@@ -247,3 +247,59 @@ func TestLatencyStormIsSeedDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// A pair partition cuts exactly one link, both directions, and heals.
+func TestPartitionPairCutsOnlyThatLink(t *testing.T) {
+	in := NewInjector(5, Config{})
+	ab1, ab2 := net.Pipe()
+	ac1, ac2 := net.Pipe()
+	connAB := in.WrapConnPair(ab1, "a", "b")
+	connAC := in.WrapConnPair(ac1, "a", "c")
+	defer connAB.Close()
+	defer connAC.Close()
+	defer ab2.Close()
+	defer ac2.Close()
+
+	in.PartitionPair("b", "a") // order must not matter
+	if !in.PairPartitioned("a", "b") || in.PairPartitioned("a", "c") {
+		t.Fatal("partition state wrong")
+	}
+
+	// Writes on the cut pair vanish but "succeed"; the peer sees nothing.
+	done := make(chan error, 1)
+	go func() {
+		_, err := connAB.Write([]byte("lost"))
+		done <- err
+	}()
+	if err := <-done; err != nil {
+		t.Fatalf("cut-pair write errored: %v", err)
+	}
+	// Reads on the cut pair park until heal.
+	readDone := make(chan struct{})
+	go func() {
+		buf := make([]byte, 8)
+		connAB.Read(buf)
+		close(readDone)
+	}()
+	select {
+	case <-readDone:
+		t.Fatal("read returned while pair was cut")
+	case <-time.After(30 * time.Millisecond):
+	}
+
+	// The other pair keeps flowing.
+	go ac2.Write([]byte("hi"))
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(connAC, buf); err != nil || string(buf) != "hi" {
+		t.Fatalf("healthy pair read = %q, %v", buf, err)
+	}
+
+	// Heal wakes the parked reader and traffic resumes.
+	in.HealPair("a", "b")
+	go ab2.Write([]byte("back"))
+	select {
+	case <-readDone:
+	case <-time.After(time.Second):
+		t.Fatal("reader never woke after HealPair")
+	}
+}

@@ -63,6 +63,10 @@ const (
 	// EventOrphanRedispatch counts checkpointed in-flight tasks a newly
 	// promoted primary re-dispatched.
 	EventOrphanRedispatch = "ctrl-orphan-redispatch"
+	// EventStepDown counts leaders demoting themselves — lost lease
+	// quorum, a higher term observed, or a fenced write proving a newer
+	// primary exists.
+	EventStepDown = "ctrl-step-down"
 	// SampleFailoverLatency records seconds of controller unavailability
 	// per failover (old primary's last lease to new primary serving).
 	SampleFailoverLatency = "ctrl-failover-latency"

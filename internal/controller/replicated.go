@@ -101,6 +101,12 @@ type ReplicaConfig struct {
 	CheckPeriod time.Duration
 	// Seed makes election-timeout draws deterministic (0: wall clock).
 	Seed int64
+	// InitialTerm is the term the replica starts counting from. A
+	// replica set restarted over a recovered store MUST set this to the
+	// store's fence (store.DB.Fence after Recover): terms only advance
+	// through elections, so a cluster restarting at term 0 under a
+	// fence of N would elect leaders whose writes stay fenced forever.
+	InitialTerm uint64
 	// Fault, if non-nil, is consulted with KillControllerOp(ID) before
 	// every lease round; an injected fault crashes the replica.
 	Fault FaultHook
@@ -108,6 +114,12 @@ type ReplicaConfig struct {
 	// orphaned checkpointed tasks and re-dispatches them (wired to
 	// runtime.Gateway.Recover). It returns how many were re-dispatched.
 	Recover func(ctx context.Context) (int, error)
+	// OnPromote, if non-nil, runs synchronously on promotion with the
+	// won term, BEFORE the first lease broadcast and before Recover.
+	// Wire it to store.DB.RaiseFence so the new primary's fence is up
+	// before any recovered work writes — a healed old primary's stale
+	// writes then bounce with store.FencedError.
+	OnPromote func(term uint64)
 	// OnRepartition, if non-nil, fires after a live repartition with the
 	// failed device id and the gaining device ids.
 	OnRepartition func(failed int, gainers []int)
@@ -209,6 +221,7 @@ type Replica struct {
 	rng         *rand.Rand
 	state       ReplicaState
 	term        uint64
+	leaderTerm  uint64 // term of the last election this replica won
 	votedFor    int
 	leaderID    int
 	lastContact time.Time // last lease applied or vote granted (timer base)
@@ -261,6 +274,7 @@ func NewReplica(cfg ReplicaConfig, peerDials map[int]func() (net.Conn, error), m
 		srv:      rpc.NewServer(),
 		peers:    make(map[int]*rpc.ReliableClient, len(peerDials)),
 		rng:      rand.New(rand.NewSource(seed + int64(cfg.ID)*7919)),
+		term:     cfg.InitialTerm,
 		votedFor: -1,
 		leaderID: -1,
 		members:  make(map[int]*Member),
@@ -350,6 +364,50 @@ func (r *Replica) Leader() (int, uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.leaderID, r.term
+}
+
+// Term returns the replica's current term.
+func (r *Replica) Term() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.term
+}
+
+// LeaderTerm returns the term of the last election this replica WON —
+// the fence token every store mutation issued on its behalf should
+// carry (wire it into store.NewFencedCheckpointLog's FenceSource). It
+// is deliberately not the current term: a deposed primary campaigning
+// inside a minority partition inflates its term without holding a
+// lease, and stamping writes with a candidacy term would let them
+// leapfrog the legitimate primary's fence. Authority comes from won
+// elections only.
+func (r *Replica) LeaderTerm() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.leaderTerm
+}
+
+// StepDown demotes a leading replica to follower immediately. It is
+// the escape hatch for out-of-band proof of deposition — a fenced
+// store write (wire runtime.GatewayConfig.OnFenced here) means a newer
+// primary exists even if this replica's lease quorum still looks
+// healthy inside its partition. No-op unless currently leader.
+func (r *Replica) StepDown() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state != Leader {
+		return
+	}
+	r.state = Follower
+	r.leaderID = -1
+	r.lastContact = time.Now()
+	r.timeout = r.drawTimeout()
+	r.mon.CountEvent(EventStepDown)
+	r.tracer.Mark("step-down", "controller", map[string]string{
+		"replica": strconv.Itoa(r.cfg.ID),
+		"term":    strconv.FormatUint(r.term, 10),
+		"reason":  "fenced",
+	}, false)
 }
 
 // Admission returns a gate for primary-only services fronted by this
@@ -538,6 +596,7 @@ func (r *Replica) runElection() {
 	}
 	r.state = Leader
 	r.leaderID = r.cfg.ID
+	r.leaderTerm = term
 	now := time.Now()
 	r.lastQuorum = now
 	r.lastScan = now
@@ -559,8 +618,15 @@ func (r *Replica) runElection() {
 		}, true)
 	}
 	recover := r.cfg.Recover
+	onPromote := r.cfg.OnPromote
 	r.mu.Unlock()
 
+	// Raise the store fence first: once it is up, any write still in
+	// flight from the deposed primary lands behind the fence and is
+	// rejected instead of racing the recovery below.
+	if onPromote != nil {
+		onPromote(term)
+	}
 	// Assert authority immediately, then re-dispatch orphaned tasks
 	// through the checkpoint log (§4.7 takeover).
 	r.broadcastLease()
@@ -644,10 +710,13 @@ func (r *Replica) broadcastLease() {
 		return
 	}
 	if maxTerm > r.term {
+		// A peer answered from a higher term: a newer primary exists (or
+		// an election is ahead of us) — step down at its term.
 		r.term = maxTerm
 		r.state = Follower
 		r.votedFor = -1
 		r.leaderID = -1
+		r.mon.CountEvent(EventStepDown)
 		return
 	}
 	if acks >= r.quorum() {
@@ -659,6 +728,7 @@ func (r *Replica) broadcastLease() {
 		r.leaderID = -1
 		r.lastContact = time.Now()
 		r.timeout = r.drawTimeout()
+		r.mon.CountEvent(EventStepDown)
 	}
 }
 

@@ -208,6 +208,13 @@ func (f *FailoverClient) Call(ctx context.Context, method string, payload []byte
 			f.route(idx, target)
 			continue
 		}
+		if IsFenced(lastErr) {
+			// A deposed primary's store rejected the term-stamped write.
+			// Like a redirect this is routing, not retry: the real primary
+			// is elsewhere, so sweep on without spending budget.
+			f.route(idx, -1)
+			continue
+		}
 		var se ServerError
 		if errors.As(lastErr, &se) {
 			// A real application error from the serving primary: the

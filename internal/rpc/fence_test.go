@@ -1,0 +1,83 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestFencedErrorRoundTrip(t *testing.T) {
+	err := FencedError(3, 7)
+	if !IsFenced(err) {
+		t.Fatal("FencedError not recognised by IsFenced")
+	}
+	token, fence, ok := FencedTerms(err)
+	if !ok || token != 3 || fence != 7 {
+		t.Fatalf("FencedTerms = (%d, %d, %v), want (3, 7, true)", token, fence, ok)
+	}
+	// The wire form survives re-wrapping as a plain ServerError (how it
+	// arrives after crossing a connection).
+	wire := ServerError(err.Error())
+	if !IsFenced(wire) {
+		t.Fatal("wire form not recognised")
+	}
+	if _, _, ok := FencedTerms(errors.New("rpc: fenced; term=x fence=y")); ok {
+		t.Fatal("non-ServerError accepted")
+	}
+	if IsFenced(ServerError("rpc: not leader; leader=1")) {
+		t.Fatal("redirect misclassified as fenced")
+	}
+	if _, _, ok := FencedTerms(ServerError(fencedPrefix + "12")); ok {
+		t.Fatal("malformed fenced payload parsed")
+	}
+}
+
+// A fenced response re-routes the failover client to another endpoint
+// — like a leader redirect, and like a redirect it must not spend the
+// retry budget.
+func TestFailoverClientReroutesOnFenced(t *testing.T) {
+	deposed, healthy := NewServer(), NewServer()
+	deposed.Register("put", func([]byte) ([]byte, error) {
+		return nil, FencedError(2, 5)
+	})
+	healthy.Register("put", func([]byte) ([]byte, error) {
+		return []byte("committed"), nil
+	})
+	lns := make([]net.Listener, 2)
+	for i, srv := range []*Server{deposed, healthy} {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		go srv.Serve(ln)
+		defer srv.Close()
+	}
+
+	budget := NewRetryBudget(0.1, 1) // one token: a single real retry
+	fc := DialFailover([]string{lns[0].Addr().String(), lns[1].Addr().String()}, FailoverOptions{
+		RetryBackoff: time.Millisecond,
+		Budget:       budget,
+	})
+	defer fc.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	out, err := fc.Call(ctx, "put", nil)
+	if err != nil {
+		t.Fatalf("call across fenced endpoint failed: %v", err)
+	}
+	if string(out) != "committed" {
+		t.Fatalf("out = %q", out)
+	}
+	if fc.Leader() != 1 {
+		t.Fatalf("client still routed at %d, want the healthy endpoint 1", fc.Leader())
+	}
+	// Routing around the fence was free: the budget still holds its
+	// token (plus the success deposit, capped at max).
+	if budget.Tokens() < 1 {
+		t.Fatalf("fenced reroute spent the retry budget: %v tokens", budget.Tokens())
+	}
+}

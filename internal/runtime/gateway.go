@@ -3,6 +3,7 @@ package runtime
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -67,6 +68,12 @@ type GatewayConfig struct {
 	// Share it with the process's rpc clients so the gateway's respawn
 	// layer cannot multiply retries the lower layers already spent.
 	RetryBudget *rpc.RetryBudget
+	// OnFenced, when set, fires when a durable-chain write bounces off
+	// the store's term fence — proof the controller replica fronted by
+	// this gateway was deposed while the chain ran. Wire it to the
+	// replica's StepDown so a healed old primary stops serving instead
+	// of retrying behind the fence.
+	OnFenced func()
 	// Tracker, when set, mirrors in-flight chains into the replicated
 	// task table.
 	Tracker TaskTracker
@@ -239,21 +246,39 @@ func (g *Gateway) Expose(method, function string) {
 	})
 }
 
-// countFailure classifies a failed request into the three counters the
+// countFailure classifies a failed request into the counters the
 // monitoring plane keys on: shed (refused unexecuted, an overload
-// signal), timeout (deadline or cancellation spent the work), and
-// execution error (the function itself failed). Conflating them is how
-// breakers and dashboards mistake a shedding-but-healthy gateway for a
-// dying one.
+// signal), fenced (a deposed primary's write rejected, a consistency
+// save not a fault), timeout (deadline or cancellation spent the
+// work), and execution error (the function itself failed). Conflating
+// them is how breakers and dashboards mistake a shedding-but-healthy
+// gateway for a dying one.
 func (g *Gateway) countFailure(ctx context.Context, err error) {
 	switch {
 	case rpc.IsShed(err):
 		g.count("gateway-shed")
+	case rpc.IsFenced(err):
+		g.count("gateway-fenced")
 	case rpc.IsDeadlineExceeded(err) || ctx.Err() != nil:
 		g.count("gateway-timeout")
 	default:
 		g.count("gateway-error")
 	}
+}
+
+// mapFenced converts a store-level fence rejection into the
+// wire-parseable rpc form (so leader-following clients re-route to the
+// new primary instead of failing the call) and fires the OnFenced
+// deposition hook. Every other error passes through unchanged.
+func (g *Gateway) mapFenced(err error) error {
+	var fe *store.FencedError
+	if !errors.As(err, &fe) {
+		return err
+	}
+	if g.cfg.OnFenced != nil {
+		g.cfg.OnFenced()
+	}
+	return rpc.FencedError(fe.Token, fe.Fence)
 }
 
 // taskMagic prefixes payloads that carry an explicit task id (see
@@ -347,6 +372,7 @@ func (g *Gateway) ExposeChain(method string, functions []string) {
 		var err error
 		if g.cfg.Checkpoints != nil {
 			data, err = g.runDurable(octx, method, taskID, functions, body)
+			err = g.mapFenced(err)
 		} else {
 			data, err = g.runVolatile(octx, method, functions, body)
 		}

@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"path/filepath"
 	"testing"
 )
 
@@ -53,4 +54,110 @@ func BenchmarkConcurrentReaders(b *testing.B) {
 			db.Get("doc")
 		}
 	})
+}
+
+// BenchmarkDurablePutFsyncNever measures the WAL framing+append
+// overhead on the write path with fsync off — the pure logging cost
+// over the in-memory BenchmarkPut baseline.
+func BenchmarkDurablePutFsyncNever(b *testing.B) {
+	db, _, err := OpenDurable(b.TempDir(), DurableOptions{Fsync: FsyncNever, CompactEvery: NoAutoCompact})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	body := make([]byte, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Force("doc", body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDurablePutFsyncBatch adds group-commit fsync every 64
+// appends — the durability policy a live deployment would run.
+func BenchmarkDurablePutFsyncBatch(b *testing.B) {
+	db, _, err := OpenDurable(b.TempDir(), DurableOptions{
+		Fsync: FsyncBatch, SyncEvery: 64, CompactEvery: NoAutoCompact,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	body := make([]byte, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Force("doc", body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWALAppend isolates the raw framed-append path.
+func BenchmarkWALAppend(b *testing.B) {
+	w, _, err := OpenWAL(filepath.Join(b.TempDir(), "wal.log"), WALOptions{Fsync: FsyncNever}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	rec := make([]byte, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchRecoveryDir builds a store directory with `updates` writes over
+// 100 live keys, compacted or not.
+func benchRecoveryDir(b *testing.B, updates int, compact bool) string {
+	b.Helper()
+	dir := b.TempDir()
+	db, _, err := OpenDurable(dir, DurableOptions{Fsync: FsyncNever, CompactEvery: NoAutoCompact})
+	if err != nil {
+		b.Fatal(err)
+	}
+	body := make([]byte, 256)
+	for i := 0; i < updates; i++ {
+		if _, err := db.Force(fmt.Sprintf("key-%d", i%100), body); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if compact {
+		if err := db.CompactNow(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	db.Close()
+	return dir
+}
+
+// BenchmarkRecoverHistory10kUncompacted replays the full 10k-record
+// WAL on every open — recovery cost grows with history.
+func BenchmarkRecoverHistory10kUncompacted(b *testing.B) {
+	dir := benchRecoveryDir(b, 10000, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db, _, err := OpenDurable(dir, DurableOptions{Fsync: FsyncNever, CompactEvery: NoAutoCompact})
+		if err != nil {
+			b.Fatal(err)
+		}
+		db.Close()
+	}
+}
+
+// BenchmarkRecoverHistory10kCompacted loads the 100-doc snapshot
+// instead — recovery cost is bounded by live state, the property the
+// compaction exists to buy.
+func BenchmarkRecoverHistory10kCompacted(b *testing.B) {
+	dir := benchRecoveryDir(b, 10000, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db, _, err := OpenDurable(dir, DurableOptions{Fsync: FsyncNever, CompactEvery: NoAutoCompact})
+		if err != nil {
+			b.Fatal(err)
+		}
+		db.Close()
+	}
 }

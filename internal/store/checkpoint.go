@@ -47,17 +47,38 @@ func StepOutputKey(taskID string, step int) string {
 // semantics.
 func RevGen(rev string) int { return revGen(rev) }
 
+// FenceSource supplies the fence token (controller term) checkpoint
+// writes carry. A gateway fronting controller replica R wires this to
+// R's current term, so every checkpoint mutation is term-stamped and a
+// deposed primary's writes bounce off the store's fence.
+type FenceSource func() uint64
+
 // CheckpointLog is the gateway-side API over the checkpoint keys of a
 // DB. All methods are safe for concurrent use (the DB serializes).
 type CheckpointLog struct {
-	db *DB
+	db    *DB
+	fence FenceSource // nil: unfenced (token 0)
 }
 
-// NewCheckpointLog wraps a store.
+// NewCheckpointLog wraps a store with unfenced writes.
 func NewCheckpointLog(db *DB) *CheckpointLog { return &CheckpointLog{db: db} }
+
+// NewFencedCheckpointLog wraps a store with term-stamped writes drawn
+// from src at each mutation.
+func NewFencedCheckpointLog(db *DB, src FenceSource) *CheckpointLog {
+	return &CheckpointLog{db: db, fence: src}
+}
 
 // DB returns the underlying store.
 func (l *CheckpointLog) DB() *DB { return l.db }
+
+// token draws the current fence token (0 when unfenced).
+func (l *CheckpointLog) token() uint64 {
+	if l.fence == nil {
+		return 0
+	}
+	return l.fence()
+}
 
 // Begin opens (or, on re-dispatch, re-opens) a task: it persists the
 // chain input and the checkpoint record, and returns the record plus
@@ -80,7 +101,7 @@ func (l *CheckpointLog) Begin(taskID, method string, input []byte) (TaskCheckpoi
 		return TaskCheckpoint{}, nil, err
 	}
 	ck := TaskCheckpoint{TaskID: taskID, Method: method, InputKey: TaskInputKey(taskID)}
-	if _, err := l.db.Force(ck.InputKey, input); err != nil {
+	if _, err := l.db.ForceFenced(l.token(), ck.InputKey, input); err != nil {
 		return TaskCheckpoint{}, nil, err
 	}
 	if err := l.write(ck); err != nil {
@@ -114,7 +135,7 @@ func (l *CheckpointLog) Advance(taskID string, step int) error {
 // back, which is exactly the deduplication the §4.7 takeover needs.
 func (l *CheckpointLog) CommitStep(taskID string, step int, out []byte) ([]byte, error) {
 	key := StepOutputKey(taskID, step)
-	if _, err := l.db.Put(key, "", out); err == nil {
+	if _, err := l.db.PutFenced(l.token(), key, "", out); err == nil {
 		return out, nil
 	} else if !errors.Is(err, ErrConflict) {
 		return nil, err
@@ -173,7 +194,10 @@ func (l *CheckpointLog) Orphans() ([]TaskCheckpoint, error) {
 		}
 		var ck TaskCheckpoint
 		if jerr := json.Unmarshal(doc.Body, &ck); jerr != nil {
-			return nil, fmt.Errorf("store: corrupt checkpoint %s: %w", key, jerr)
+			// Quarantine, don't abort: one corrupt record must not block
+			// recovery of every healthy task. Count it and keep scanning.
+			l.db.countEvent(MetricCorruptCheckpoint)
+			continue
 		}
 		if !ck.Done {
 			out = append(out, ck)
@@ -191,6 +215,6 @@ func (l *CheckpointLog) write(ck TaskCheckpoint) error {
 	if err != nil {
 		return err
 	}
-	_, err = l.db.Force(CheckpointKey(ck.TaskID), body)
+	_, err = l.db.ForceFenced(l.token(), CheckpointKey(ck.TaskID), body)
 	return err
 }

@@ -129,3 +129,48 @@ func TestCheckpointStepOutputRoundTrip(t *testing.T) {
 		t.Fatalf("round trip: %q ok=%v err=%v", out, ok, err)
 	}
 }
+
+// Quarantine, don't abort: one corrupt checkpoint record must not
+// block recovery of every healthy task — Orphans skips it, counts it,
+// and keeps scanning.
+func TestOrphansQuarantinesCorruptCheckpoint(t *testing.T) {
+	mon := newCountingMonitor()
+	db := NewDB()
+	db.SetMonitor(mon)
+	log := NewCheckpointLog(db)
+	if _, _, err := log.Begin("healthy-a", "m", []byte("in")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := log.Begin("healthy-b", "m", []byte("in")); err != nil {
+		t.Fatal(err)
+	}
+	// A torn or bit-flipped checkpoint record: valid store document,
+	// garbage JSON payload.
+	if _, err := db.Force(CheckpointKey("corrupt"), []byte("{not json")); err != nil {
+		t.Fatal(err)
+	}
+
+	orphans, err := log.Orphans()
+	if err != nil {
+		t.Fatalf("Orphans aborted on the corrupt record: %v", err)
+	}
+	if len(orphans) != 2 {
+		t.Fatalf("orphans = %+v, want the 2 healthy tasks", orphans)
+	}
+	for i, want := range []string{"healthy-a", "healthy-b"} {
+		if orphans[i].TaskID != want {
+			t.Fatalf("orphan %d = %q, want %q", i, orphans[i].TaskID, want)
+		}
+	}
+	if got := mon.count(MetricCorruptCheckpoint); got != 1 {
+		t.Fatalf("corrupt-checkpoint counter = %d, want 1", got)
+	}
+	// A second scan counts it again — the record is still there, still
+	// quarantined, still visible to operators.
+	if _, err := log.Orphans(); err != nil {
+		t.Fatal(err)
+	}
+	if got := mon.count(MetricCorruptCheckpoint); got != 2 {
+		t.Fatalf("corrupt-checkpoint counter after rescan = %d, want 2", got)
+	}
+}

@@ -26,7 +26,32 @@ import (
 var (
 	ErrNotFound = errors.New("store: document not found")
 	ErrConflict = errors.New("store: revision conflict")
+	// ErrFenced is the root of every fence rejection, so callers can
+	// errors.Is their way to "this writer's term is stale".
+	ErrFenced = errors.New("store: fenced write")
 )
+
+// FencedError rejects a mutation whose fence token (the writer's
+// controller term) is older than the highest term the store has seen.
+// It is how a deposed primary — healed from a partition with an
+// in-flight chain still running — is prevented from scribbling stale
+// state over a newer primary's writes: the new leader's first write
+// (or explicit RaiseFence on promotion) advances the fence, and every
+// later stale-term mutation fails here instead of landing.
+type FencedError struct {
+	// Token is the writer's stale term.
+	Token uint64
+	// Fence is the store's current fence (the newest term seen).
+	Fence uint64
+}
+
+// Error implements error.
+func (e *FencedError) Error() string {
+	return fmt.Sprintf("store: fenced write: token term %d behind fence term %d", e.Token, e.Fence)
+}
+
+// Is makes errors.Is(err, ErrFenced) true for FencedError values.
+func (e *FencedError) Is(target error) bool { return target == ErrFenced }
 
 // Injector is the fault-injection hook consulted before each store
 // operation (ops "put/<id>", "force/<id>", "get/<id>", "delete/<id>"):
@@ -44,19 +69,57 @@ type Doc struct {
 	Body []byte
 }
 
-// DB is an in-memory revisioned document store, safe for concurrent use.
+// DB is a revisioned document store, safe for concurrent use. By
+// default it is purely in-memory; OpenDurable attaches a write-ahead
+// log and snapshot directory so the same store survives a process
+// crash (durable.go).
 type DB struct {
 	mu   sync.RWMutex
 	docs map[string]Doc
 	seq  uint64
 
+	// fenceTerm is the highest fence token (controller term) any
+	// mutation has carried; stale-token writes are rejected.
+	fenceTerm uint64
+
+	// Durable-store state (nil/zero for the in-memory configuration).
+	wal          *WAL
+	dir          string
+	dopts        DurableOptions
+	sinceCompact int
+
+	// injMu guards the aux hooks (fault injector, metrics sink), which
+	// are consulted both under and outside the main mutex.
 	injMu sync.RWMutex
 	inj   Injector
+	mon   Monitor
 }
 
-// NewDB returns an empty store.
+// NewDB returns an empty in-memory store.
 func NewDB() *DB {
 	return &DB{docs: make(map[string]Doc)}
+}
+
+// SetMonitor installs (or, with nil, removes) a metrics sink for the
+// store-* counters.
+func (db *DB) SetMonitor(m Monitor) {
+	db.injMu.Lock()
+	defer db.injMu.Unlock()
+	db.mon = m
+}
+
+// monitor returns the installed metrics sink (nil when unset).
+func (db *DB) monitor() Monitor {
+	db.injMu.RLock()
+	defer db.injMu.RUnlock()
+	return db.mon
+}
+
+// countEvent reports one counter tick (nil-safe).
+func (db *DB) countEvent(name string) {
+	if m := db.monitor(); m != nil {
+		m.CountEvent(name)
+	}
 }
 
 // SetInjector installs (or, with nil, removes) a fault injector.
@@ -94,10 +157,61 @@ func revGen(rev string) int {
 	return g
 }
 
+// checkFenceLocked validates a mutation's fence token against the
+// highest term seen, advancing the fence for current-term writers.
+// Token 0 means "unfenced" (a caller outside the replicated control
+// plane) and always passes without moving the fence. Caller holds mu.
+func (db *DB) checkFenceLocked(token uint64) error {
+	if token == 0 {
+		return nil
+	}
+	if token < db.fenceTerm {
+		db.countEvent(MetricFencedWrite)
+		return &FencedError{Token: token, Fence: db.fenceTerm}
+	}
+	db.fenceTerm = token
+	return nil
+}
+
+// Fence returns the highest fence token any mutation has carried.
+func (db *DB) Fence() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.fenceTerm
+}
+
+// RaiseFence advances the fence to term without writing a document — a
+// newly promoted primary calls this before serving, so a deposed
+// leader's stale-term writes are rejected even before the new leader's
+// first real mutation lands. On a durable store the raise itself is
+// logged, so the fence survives a crash.
+func (db *DB) RaiseFence(term uint64) error {
+	if term == 0 {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if term <= db.fenceTerm {
+		return nil
+	}
+	if err := db.appendRecordLocked(encodeFence(term)); err != nil {
+		return err
+	}
+	db.fenceTerm = term
+	return db.maybeCompactLocked()
+}
+
 // Put creates or updates a document. For updates, rev must match the
 // stored revision or ErrConflict is returned; for creates, rev must be
 // empty. It returns the new revision.
 func (db *DB) Put(id string, rev string, body []byte) (string, error) {
+	return db.PutFenced(0, id, rev, body)
+}
+
+// PutFenced is Put with a fence token (the writer's controller term):
+// a token behind the store's fence fails with FencedError before any
+// state changes. Token 0 bypasses fencing.
+func (db *DB) PutFenced(token uint64, id string, rev string, body []byte) (string, error) {
 	if id == "" {
 		return "", errors.New("store: empty document id")
 	}
@@ -106,6 +220,9 @@ func (db *DB) Put(id string, rev string, body []byte) (string, error) {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.checkFenceLocked(token); err != nil {
+		return "", err
+	}
 	cur, exists := db.docs[id]
 	if exists {
 		if rev != cur.Rev {
@@ -121,20 +238,35 @@ func (db *DB) Put(id string, rev string, body []byte) (string, error) {
 	bodyCopy := make([]byte, len(body))
 	copy(bodyCopy, body)
 	newRev := revToken(gen, bodyCopy)
-	db.docs[id] = Doc{ID: id, Rev: newRev, Body: bodyCopy}
+	doc := Doc{ID: id, Rev: newRev, Body: bodyCopy}
+	if err := db.appendRecordLocked(encodeSet(doc, token)); err != nil {
+		return "", err
+	}
+	db.docs[id] = doc
 	db.seq++
+	if err := db.maybeCompactLocked(); err != nil {
+		return "", err
+	}
 	return newRev, nil
 }
 
 // Force writes a document unconditionally (last-writer-wins), returning
 // the new revision. Used for idempotent outputs where conflicts are
-// benign. The only error source is an installed fault injector.
+// benign.
 func (db *DB) Force(id string, body []byte) (string, error) {
+	return db.ForceFenced(0, id, body)
+}
+
+// ForceFenced is Force with a fence token; see PutFenced.
+func (db *DB) ForceFenced(token uint64, id string, body []byte) (string, error) {
 	if err := db.fault("force/" + id); err != nil {
 		return "", err
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.checkFenceLocked(token); err != nil {
+		return "", err
+	}
 	gen := 1
 	if cur, ok := db.docs[id]; ok {
 		gen = revGen(cur.Rev) + 1
@@ -142,8 +274,15 @@ func (db *DB) Force(id string, body []byte) (string, error) {
 	bodyCopy := make([]byte, len(body))
 	copy(bodyCopy, body)
 	rev := revToken(gen, bodyCopy)
-	db.docs[id] = Doc{ID: id, Rev: rev, Body: bodyCopy}
+	doc := Doc{ID: id, Rev: rev, Body: bodyCopy}
+	if err := db.appendRecordLocked(encodeSet(doc, token)); err != nil {
+		return "", err
+	}
+	db.docs[id] = doc
 	db.seq++
+	if err := db.maybeCompactLocked(); err != nil {
+		return "", err
+	}
 	return rev, nil
 }
 
@@ -166,11 +305,19 @@ func (db *DB) Get(id string) (Doc, error) {
 
 // Delete removes a document; rev must match.
 func (db *DB) Delete(id, rev string) error {
+	return db.DeleteFenced(0, id, rev)
+}
+
+// DeleteFenced is Delete with a fence token; see PutFenced.
+func (db *DB) DeleteFenced(token uint64, id, rev string) error {
 	if err := db.fault("delete/" + id); err != nil {
 		return err
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.checkFenceLocked(token); err != nil {
+		return err
+	}
 	cur, ok := db.docs[id]
 	if !ok {
 		return ErrNotFound
@@ -178,9 +325,12 @@ func (db *DB) Delete(id, rev string) error {
 	if rev != cur.Rev {
 		return ErrConflict
 	}
+	if err := db.appendRecordLocked(encodeDel(id, token)); err != nil {
+		return err
+	}
 	delete(db.docs, id)
 	db.seq++
-	return nil
+	return db.maybeCompactLocked()
 }
 
 // Len returns the number of stored documents.
