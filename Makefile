@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-eval chaos crash-smoke live-smoke overload-smoke bench bench-eval bench-gateway bench-store bench-all sweep sweep-parity examples fmt vet clean
+.PHONY: all build test race race-eval race-ring chaos crash-smoke live-smoke overload-smoke bench bench-rpc bench-eval bench-gateway bench-store bench-all sweep sweep-parity examples fmt vet clean
 
 all: build vet test
 
@@ -21,11 +21,20 @@ race:
 race-eval:
 	$(GO) test -race -count=1 ./internal/experiments/ ./internal/synth/
 
+# Shared-memory ring + mux race lane: the lock-free MPMC ring
+# (concurrent producers, close-during-send, reconnect), the per-stream
+# dispatcher, writer teardown, and buffer lending, all under the race
+# detector with -count=2 for schedule diversity.
+race-ring:
+	$(GO) test -race -count=2 \
+		-run 'Ring|Mux|Stream|Teardown|Lend|Lent|PutBuf' \
+		./internal/rpc/ ./internal/runtime/ ./internal/chaos/
+
 # Fault-injection suite: every chaos test seeds its injectors and RNGs
 # (fixed seeds baked into the tests), so this run is deterministic.
 chaos:
 	$(GO) test -race -count=1 \
-		-run 'Chaos|Injector|Breaker|Respawn|FailAll|Reliable|Heartbeat|Failover|Replica|Checkpoint|Durable|Straggler|Orphan|Budget|Overload|Burst|Shed|Deadline|Storm|Admission|Fenced|Fence|Partition|WAL|CrashRestart|Snapshot|StepDown' \
+		-run 'Chaos|Injector|Breaker|Respawn|FailAll|Reliable|Heartbeat|Failover|Replica|Checkpoint|Durable|Straggler|Orphan|Budget|Overload|Burst|Shed|Deadline|Storm|Admission|Fenced|Fence|Partition|WAL|CrashRestart|Snapshot|StepDown|Mux|Ring|Linker|Teardown' \
 		./internal/chaos/ ./internal/rpc/ ./internal/runtime/ ./internal/store/ ./internal/controller/
 
 # Durability & split-brain lane under -race: whole-cluster crash and
@@ -61,13 +70,29 @@ bench-gateway:
 	$(GO) run ./cmd/hivemind-loadgen -compare -duration 10s -load 2 -json BENCH_gateway.json
 
 # RPC data-plane benchmarks, recorded as JSON under BENCH_LABEL
-# (default "post"). Existing labels in BENCH_rpc.json are preserved, so
-# the committed "pre" baseline survives re-runs.
+# (default "post"). -count=5 runs are collapsed to per-benchmark
+# medians. Existing labels in BENCH_rpc.json are preserved, so the
+# committed "pre" baseline survives re-runs.
 BENCH_LABEL ?= post
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem -count=1 ./internal/rpc/ > bench_rpc.out
-	$(GO) run ./cmd/hivemind-benchjson -in bench_rpc.out -out BENCH_rpc.json -label $(BENCH_LABEL)
+	$(GO) test -run '^$$' -bench . -benchmem -count=5 ./internal/rpc/ > bench_rpc.out
+	$(GO) run ./cmd/hivemind-benchjson -in bench_rpc.out -out BENCH_rpc.json -label $(BENCH_LABEL) -median
 	rm -f bench_rpc.out
+
+# RPC regression gate: re-measure the data-plane medians (-count=5)
+# and fail if CallSync64B or PipelinedCalls — or either zero-copy fast
+# path — regressed more than 10% against the committed "post" baseline
+# in BENCH_rpc.json. Run locally before committing data-plane changes;
+# shared CI runners are too noisy to gate on wall-clock there.
+bench-rpc:
+	$(GO) test -run '^$$' -bench \
+		'^(BenchmarkCallSync64B|BenchmarkPipelinedCalls|BenchmarkRingCallSync64B|BenchmarkMuxPipelinedCallsTCP)$$' \
+		-count=5 ./internal/rpc/ > bench_gate.out
+	$(GO) run ./cmd/hivemind-benchjson -in bench_gate.out \
+		-gate BENCH_rpc.json -gate-label post -tolerance 0.10 \
+		BenchmarkCallSync64B BenchmarkPipelinedCalls \
+		BenchmarkRingCallSync64B BenchmarkMuxPipelinedCallsTCP
+	rm -f bench_gate.out
 
 # Evaluation-pipeline benchmarks: quick-sweep wall clock plus the
 # synthesis-explorer and DES hot-loop micro-benchmarks, recorded as

@@ -9,6 +9,17 @@
 //
 // When -out already exists, the new label is merged into it: recording
 // a "post" run preserves the committed "pre" baseline.
+//
+// With -median, repeated lines for the same benchmark (a -count=N run)
+// collapse to one result holding the median ns/op — the robust summary
+// the regression gate compares. With -gate, the parsed run is compared
+// against an existing label in -out instead of being recorded:
+//
+//	hivemind-benchjson -in bench.out -gate BENCH_rpc.json \
+//	    -gate-label post -tolerance 0.10 BenchmarkCallSync64B BenchmarkPipelinedCalls
+//
+// exits non-zero if any named benchmark's median ns/op regressed more
+// than the tolerance against the committed label.
 package main
 
 import (
@@ -85,10 +96,95 @@ func parse(r io.Reader) (Run, error) {
 	return run, sc.Err()
 }
 
+// collapseMedian folds repeated results per benchmark name (a -count=N
+// sweep) into one result carrying the median of each metric, keeping
+// first-appearance order. Medians shrug off the stray slow iteration a
+// loaded CI machine injects, which means/minimums do not.
+func collapseMedian(results []Result) []Result {
+	order := make([]string, 0, len(results))
+	byName := make(map[string][]Result)
+	for _, r := range results {
+		if _, seen := byName[r.Name]; !seen {
+			order = append(order, r.Name)
+		}
+		byName[r.Name] = append(byName[r.Name], r)
+	}
+	out := make([]Result, 0, len(order))
+	for _, name := range order {
+		rs := byName[name]
+		med := Result{Name: name}
+		med.Iterations = int64(medianOf(rs, func(r Result) float64 { return float64(r.Iterations) }))
+		med.NsPerOp = medianOf(rs, func(r Result) float64 { return r.NsPerOp })
+		med.MBPerSec = medianOf(rs, func(r Result) float64 { return r.MBPerSec })
+		med.BytesPerOp = int64(medianOf(rs, func(r Result) float64 { return float64(r.BytesPerOp) }))
+		med.AllocsPerOp = int64(medianOf(rs, func(r Result) float64 { return float64(r.AllocsPerOp) }))
+		out = append(out, med)
+	}
+	return out
+}
+
+func medianOf(rs []Result, metric func(Result) float64) float64 {
+	vals := make([]float64, len(rs))
+	for i, r := range rs {
+		vals[i] = metric(r)
+	}
+	sort.Float64s(vals)
+	mid := len(vals) / 2
+	if len(vals)%2 == 0 {
+		return (vals[mid-1] + vals[mid]) / 2
+	}
+	return vals[mid]
+}
+
+// gate compares the measured medians against a committed baseline
+// label and returns one error line per regression beyond tolerance.
+// Benchmarks named in `names` must exist on both sides; an empty list
+// gates every benchmark present in the baseline and the run.
+func gate(run Run, baseline Run, tolerance float64, names []string) []string {
+	measured := make(map[string]Result, len(run.Results))
+	for _, r := range collapseMedian(run.Results) {
+		measured[r.Name] = r
+	}
+	base := make(map[string]Result, len(baseline.Results))
+	for _, r := range collapseMedian(baseline.Results) {
+		base[r.Name] = r
+	}
+	if len(names) == 0 {
+		for name := range base {
+			if _, ok := measured[name]; ok {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+	}
+	var violations []string
+	for _, name := range names {
+		b, okB := base[name]
+		m, okM := measured[name]
+		switch {
+		case !okB:
+			violations = append(violations, fmt.Sprintf("%s: no committed baseline", name))
+		case !okM:
+			violations = append(violations, fmt.Sprintf("%s: missing from this run", name))
+		case b.NsPerOp <= 0:
+			violations = append(violations, fmt.Sprintf("%s: baseline ns/op is %v", name, b.NsPerOp))
+		case m.NsPerOp > b.NsPerOp*(1+tolerance):
+			violations = append(violations, fmt.Sprintf(
+				"%s: %.0f ns/op vs baseline %.0f ns/op (+%.1f%%, tolerance %.0f%%)",
+				name, m.NsPerOp, b.NsPerOp, (m.NsPerOp/b.NsPerOp-1)*100, tolerance*100))
+		}
+	}
+	return violations
+}
+
 func main() {
 	in := flag.String("in", "", "benchmark output to parse (default stdin)")
 	out := flag.String("out", "", "JSON file to write (default stdout); existing labels are preserved")
 	label := flag.String("label", "post", "label for this run (e.g. pre, post)")
+	median := flag.Bool("median", false, "collapse -count=N duplicates to per-benchmark medians before recording")
+	gateFile := flag.String("gate", "", "compare against this benchjson document instead of recording")
+	gateLabel := flag.String("gate-label", "post", "baseline label inside the -gate document")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed ns/op regression fraction for -gate")
 	flag.Parse()
 
 	src := io.Reader(os.Stdin)
@@ -106,6 +202,33 @@ func main() {
 	}
 	if len(run.Results) == 0 {
 		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+	if *median {
+		run.Results = collapseMedian(run.Results)
+	}
+
+	if *gateFile != "" {
+		raw, err := os.ReadFile(*gateFile)
+		if err != nil {
+			fatal(err)
+		}
+		doc := map[string]Run{}
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			fatal(fmt.Errorf("%s is not a benchjson document: %w", *gateFile, err))
+		}
+		baseline, ok := doc[*gateLabel]
+		if !ok {
+			fatal(fmt.Errorf("label %q not found in %s", *gateLabel, *gateFile))
+		}
+		violations := gate(run, baseline, *tolerance, flag.Args())
+		if len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "REGRESSION:", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("bench gate passed: within %.0f%% of %q in %s\n", *tolerance*100, *gateLabel, *gateFile)
+		return
 	}
 
 	doc := map[string]Run{}

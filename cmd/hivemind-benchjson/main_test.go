@@ -1,0 +1,84 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const countedOut = `
+goos: linux
+goarch: amd64
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkCallSync64B-4   300000  3300 ns/op  19.0 MB/s  160 B/op  4 allocs/op
+BenchmarkCallSync64B-4   310000  3100 ns/op  20.0 MB/s  160 B/op  4 allocs/op
+BenchmarkCallSync64B-4   290000  3500 ns/op  18.0 MB/s  160 B/op  4 allocs/op
+BenchmarkPipelinedCalls-4  500000  4000 ns/op
+BenchmarkPipelinedCalls-4  520000  3900 ns/op
+BenchmarkPipelinedCalls-4  480000  4200 ns/op
+`
+
+func parseCounted(t *testing.T) Run {
+	t.Helper()
+	run, err := parse(strings.NewReader(countedOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+func TestCollapseMedian(t *testing.T) {
+	run := parseCounted(t)
+	if len(run.Results) != 6 {
+		t.Fatalf("parsed %d results, want 6", len(run.Results))
+	}
+	med := collapseMedian(run.Results)
+	if len(med) != 2 {
+		t.Fatalf("collapsed to %d results, want 2", len(med))
+	}
+	if med[0].Name != "BenchmarkCallSync64B" || med[0].NsPerOp != 3300 {
+		t.Fatalf("median[0] = %+v, want CallSync64B at 3300 ns/op", med[0])
+	}
+	if med[1].Name != "BenchmarkPipelinedCalls" || med[1].NsPerOp != 4000 {
+		t.Fatalf("median[1] = %+v, want PipelinedCalls at 4000 ns/op", med[1])
+	}
+	if med[0].AllocsPerOp != 4 || med[0].MBPerSec != 19.0 {
+		t.Fatalf("median[0] metrics = %+v", med[0])
+	}
+}
+
+func TestGate(t *testing.T) {
+	baseline := parseCounted(t)
+	run := parseCounted(t)
+
+	if v := gate(run, baseline, 0.10, nil); len(v) != 0 {
+		t.Fatalf("identical run flagged: %v", v)
+	}
+
+	// An 11% regression on one benchmark trips only that benchmark.
+	slow := parseCounted(t)
+	for i := range slow.Results {
+		if slow.Results[i].Name == "BenchmarkCallSync64B" {
+			slow.Results[i].NsPerOp *= 1.11
+		}
+	}
+	v := gate(slow, baseline, 0.10, nil)
+	if len(v) != 1 || !strings.Contains(v[0], "BenchmarkCallSync64B") {
+		t.Fatalf("violations = %v, want one for CallSync64B", v)
+	}
+	// Inside tolerance passes.
+	if v := gate(slow, baseline, 0.15, nil); len(v) != 0 {
+		t.Fatalf("11%% regression flagged at 15%% tolerance: %v", v)
+	}
+	// Restricting the gate to the healthy benchmark passes.
+	if v := gate(slow, baseline, 0.10, []string{"BenchmarkPipelinedCalls"}); len(v) != 0 {
+		t.Fatalf("named gate flagged healthy benchmark: %v", v)
+	}
+	// A gated benchmark missing from the run is a violation, not a pass.
+	if v := gate(Run{}, baseline, 0.10, []string{"BenchmarkCallSync64B"}); len(v) != 1 {
+		t.Fatalf("missing measurement not flagged: %v", v)
+	}
+	// No committed baseline for a requested name is a violation too.
+	if v := gate(run, Run{}, 0.10, []string{"BenchmarkCallSync64B"}); len(v) != 1 {
+		t.Fatalf("missing baseline not flagged: %v", v)
+	}
+}

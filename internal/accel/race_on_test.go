@@ -1,0 +1,7 @@
+//go:build race
+
+package accel_test
+
+// raceEnabled gates the strict latency-ordering invariants in the
+// fast-path validation; see race_off_test.go.
+const raceEnabled = true

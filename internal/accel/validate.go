@@ -1,0 +1,83 @@
+package accel
+
+import (
+	"fmt"
+	"time"
+)
+
+// MeasuredFastPath holds median round-trip numbers observed on the live
+// software data plane (internal/rpc). The calibrated hardware model in
+// this package (§4.5: ~2.1 µs RTT, ~12.4 Mrps/core at 64 B) is only
+// credible if it sits where the paper places it relative to real
+// software paths:
+//
+//   - the in-process shared-memory ring skips the NIC and the wire
+//     entirely, so it must beat the modelled hardware round trip;
+//   - the kernel TCP loopback path is exactly what the offload exists
+//     to beat, so the modelled round trip must undercut it;
+//   - one core driving the kernel TCP path must fall short of the
+//     modelled offloaded request rate.
+//
+// These are ordering invariants rather than absolute-latency asserts,
+// so they hold across CI machines of very different speeds.
+type MeasuredFastPath struct {
+	RingRTT time.Duration // 64 B round trip over the in-process shm ring
+	TCPRTT  time.Duration // 64 B round trip over kernel TCP loopback
+	TCPRps  float64       // pipelined 64 B req/s over one mux'd TCP conn
+}
+
+// ValidationReport is the outcome of cross-checking the fabric model
+// against measured fast-path numbers.
+type ValidationReport struct {
+	ModelRTTS float64 // modelled 64 B round trip, seconds
+	ModelRps  float64 // modelled 64 B offloaded throughput, req/s/core
+	Measured  MeasuredFastPath
+	Issues    []string // empty when every invariant holds
+}
+
+// OK reports whether every invariant held.
+func (r ValidationReport) OK() bool { return len(r.Issues) == 0 }
+
+func (r ValidationReport) String() string {
+	return fmt.Sprintf("model rtt=%.2fµs rps=%.1fM | measured ring=%v tcp=%v tcprps=%.2fM | issues=%d",
+		r.ModelRTTS*1e6, r.ModelRps/1e6, r.Measured.RingRTT, r.Measured.TCPRTT, r.Measured.TCPRps/1e6, len(r.Issues))
+}
+
+// ValidateAgainst cross-checks this fabric's calibrated RPC model
+// against measured software fast-path medians. strictLatency enables
+// the latency-ordering invariants; callers running under instrumented
+// builds (race detector slows the software path 10-20×) should pass
+// false and keep only the sanity and throughput checks.
+func (f *Fabric) ValidateAgainst(m MeasuredFastPath, strictLatency bool) ValidationReport {
+	rep := ValidationReport{
+		ModelRTTS: f.RPCRoundTripS(64),
+		ModelRps:  f.RPCThroughputRps(64),
+		Measured:  m,
+	}
+	fail := func(format string, args ...any) {
+		rep.Issues = append(rep.Issues, fmt.Sprintf(format, args...))
+	}
+	if rep.ModelRTTS <= 0 || rep.ModelRps <= 0 {
+		fail("rpc engine absent from bitstream: model rtt=%v rps=%v", rep.ModelRTTS, rep.ModelRps)
+		return rep
+	}
+	if m.RingRTT <= 0 || m.TCPRTT <= 0 {
+		fail("measured round trips must be positive: ring=%v tcp=%v", m.RingRTT, m.TCPRTT)
+		return rep
+	}
+	if m.RingRTT >= m.TCPRTT {
+		fail("in-process ring (%v) should beat kernel TCP loopback (%v)", m.RingRTT, m.TCPRTT)
+	}
+	if strictLatency {
+		if rtt := m.RingRTT.Seconds(); rtt >= rep.ModelRTTS {
+			fail("shm ring rtt %v should undercut modelled hw rtt %.2fµs: the ring skips the NIC the model includes", m.RingRTT, rep.ModelRTTS*1e6)
+		}
+		if rtt := m.TCPRTT.Seconds(); rtt <= rep.ModelRTTS {
+			fail("kernel TCP rtt %v should exceed modelled hw rtt %.2fµs: otherwise the offload has nothing to offer", m.TCPRTT, rep.ModelRTTS*1e6)
+		}
+	}
+	if m.TCPRps > 0 && m.TCPRps >= rep.ModelRps {
+		fail("software TCP throughput %.2fM rps should fall short of modelled offload %.2fM rps", m.TCPRps/1e6, rep.ModelRps/1e6)
+	}
+	return rep
+}

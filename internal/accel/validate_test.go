@@ -1,0 +1,191 @@
+package accel_test
+
+import (
+	"net"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"hivemind/internal/accel"
+	"hivemind/internal/rpc"
+)
+
+// measureRingRTT returns the median 64 B round trip over the in-process
+// shared-memory ring, from batch medians to shrug off scheduler noise.
+func measureRingRTT(t *testing.T) time.Duration {
+	t.Helper()
+	srv := rpc.NewServer()
+	srv.Register("echo", func(p []byte) ([]byte, error) { return p, nil })
+	defer srv.Close()
+	r, err := rpc.NewRing(srv, rpc.RingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 64)
+	call := func() {
+		if _, err := r.CallSync("echo", payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return medianBatchRTT(1000, 7, call)
+}
+
+// measureTCP returns the median synchronous 64 B round trip over kernel
+// TCP loopback plus the pipelined request rate over one multiplexed
+// connection.
+func measureTCP(t *testing.T) (time.Duration, float64) {
+	t.Helper()
+	srv := rpc.NewServer()
+	srv.Register("echo", func(p []byte) ([]byte, error) { return p, nil })
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan struct{})
+	go func() {
+		defer close(accepted)
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		srv.ServeConn(conn)
+	}()
+	cc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rpc.NewClient(cc, 64)
+	defer func() { c.Close(); <-accepted }()
+
+	payload := make([]byte, 64)
+	rtt := medianBatchRTT(200, 7, func() {
+		if _, err := c.CallSync("echo", payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// Pipelined throughput: several logical streams over the one conn,
+	// each issuing synchronous calls concurrently.
+	const streams, perStream = 16, 400
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < streams; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := c.Stream(8)
+			p := make([]byte, 64)
+			for j := 0; j < perStream; j++ {
+				if _, err := s.CallSync("echo", p); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	rps := float64(streams*perStream) / time.Since(start).Seconds()
+	return rtt, rps
+}
+
+// medianBatchRTT times `rounds` batches of `batch` calls and returns
+// the median per-call duration.
+func medianBatchRTT(batch, rounds int, call func()) time.Duration {
+	for i := 0; i < batch/4; i++ { // warm up pools and code paths
+		call()
+	}
+	per := make([]time.Duration, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		start := time.Now()
+		for i := 0; i < batch; i++ {
+			call()
+		}
+		per = append(per, time.Since(start)/time.Duration(batch))
+	}
+	sort.Slice(per, func(i, j int) bool { return per[i] < per[j] })
+	return per[len(per)/2]
+}
+
+// TestFabricModelMatchesMeasuredFastPath cross-checks the calibrated
+// §4.5 hardware model against the live software data plane: the
+// in-process shm ring must undercut the modelled hardware round trip
+// (it skips the NIC the model includes), kernel TCP must exceed it
+// (that gap is the offload's value), and one connection's software
+// throughput must fall short of the modelled 12.4 Mrps/core.
+func TestFabricModelMatchesMeasuredFastPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measures live transport latency; skipped in -short")
+	}
+	m := accel.MeasuredFastPath{RingRTT: measureRingRTT(t)}
+	m.TCPRTT, m.TCPRps = measureTCP(t)
+
+	f := accel.NewFabric()
+	rep := f.ValidateAgainst(m, !raceEnabled)
+	t.Logf("%s", rep)
+	if raceEnabled {
+		t.Log("race detector active: strict latency-ordering invariants relaxed")
+	}
+	for _, issue := range rep.Issues {
+		t.Errorf("invariant violated: %s", issue)
+	}
+	if !rep.OK() {
+		t.Fatalf("fabric model inconsistent with measured fast path")
+	}
+}
+
+// TestValidateAgainstInvariants exercises the pure checker with
+// synthetic measurements so its logic is covered deterministically.
+func TestValidateAgainstInvariants(t *testing.T) {
+	f := accel.NewFabric()
+	model := f.RPCRoundTripS(64)
+
+	good := accel.MeasuredFastPath{
+		RingRTT: time.Duration(model * 0.1 * float64(time.Second)),
+		TCPRTT:  time.Duration(model * 5 * float64(time.Second)),
+		TCPRps:  f.RPCThroughputRps(64) / 20,
+	}
+	if rep := f.ValidateAgainst(good, true); !rep.OK() {
+		t.Fatalf("plausible measurement rejected: %v", rep.Issues)
+	}
+
+	cases := []struct {
+		name string
+		m    accel.MeasuredFastPath
+	}{
+		{"ring slower than model", accel.MeasuredFastPath{
+			RingRTT: time.Duration(model * 2 * float64(time.Second)),
+			TCPRTT:  time.Duration(model * 5 * float64(time.Second)),
+		}},
+		{"tcp faster than model", accel.MeasuredFastPath{
+			RingRTT: time.Duration(model * 0.01 * float64(time.Second)),
+			TCPRTT:  time.Duration(model * 0.5 * float64(time.Second)),
+		}},
+		{"ring no better than tcp", accel.MeasuredFastPath{
+			RingRTT: 10 * time.Microsecond,
+			TCPRTT:  10 * time.Microsecond,
+		}},
+		{"software throughput beats offload", accel.MeasuredFastPath{
+			RingRTT: time.Duration(model * 0.1 * float64(time.Second)),
+			TCPRTT:  time.Duration(model * 5 * float64(time.Second)),
+			TCPRps:  f.RPCThroughputRps(64) * 2,
+		}},
+		{"non-positive measurement", accel.MeasuredFastPath{}},
+	}
+	for _, tc := range cases {
+		if rep := f.ValidateAgainst(tc.m, true); rep.OK() {
+			t.Errorf("%s: expected an invariant violation, got OK (%s)", tc.name, rep)
+		}
+	}
+
+	// An engine-less bitstream cannot validate anything.
+	bare := accel.NewFabric()
+	if err := bare.Program(accel.HardConfig{}, map[accel.Region]float64{accel.RegionRemoteMem: accel.RemoteMemLUTFrac}); err != nil {
+		t.Fatal(err)
+	}
+	if rep := bare.ValidateAgainst(good, true); rep.OK() {
+		t.Error("fabric without rpc engine should fail validation")
+	}
+}

@@ -130,3 +130,82 @@ func BenchmarkPipelinedCallsTCP(b *testing.B) {
 	}
 	wg.Wait()
 }
+
+func benchRing(b *testing.B, opts RingOptions) *Ring {
+	b.Helper()
+	srv := NewServer()
+	srv.Register("echo", func(p []byte) ([]byte, error) { return p, nil })
+	r, err := NewRing(srv, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	return r
+}
+
+// BenchmarkRingCallSync64B measures the in-process shared-memory fast
+// path: no frames, no syscalls, one ring slot round trip — the number
+// the accel model's 2.1 µs hardware RTT is cross-checked against.
+func BenchmarkRingCallSync64B(b *testing.B) {
+	r := benchRing(b, RingOptions{})
+	payload := make([]byte, 64)
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.CallSync("echo", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRingCallSync64BParallel drives the ring from all procs at
+// once: MPMC contention on the ticket counters and completion CASes.
+func BenchmarkRingCallSync64BParallel(b *testing.B) {
+	r := benchRing(b, RingOptions{Slots: 1024, Consumers: 4})
+	b.SetBytes(64)
+	b.RunParallel(func(pb *testing.PB) {
+		payload := make([]byte, 64)
+		for pb.Next() {
+			if _, err := r.CallSync("echo", payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMuxPipelinedCallsTCP measures pipelined throughput over one
+// multiplexed TCP connection: each parallel worker owns a logical
+// stream with a small caller pool and issues synchronous calls, so
+// the cost per op is frame+writev+dispatch — no per-call goroutine
+// spawn, no shared-pool head-of-line wait.
+func BenchmarkMuxPipelinedCallsTCP(b *testing.B) {
+	c := benchTCP(b, 64)
+	b.SetBytes(64)
+	b.SetParallelism(32) // pipelining depth: streams per proc
+	b.RunParallel(func(pb *testing.PB) {
+		s := c.Stream(8)
+		payload := make([]byte, 64)
+		for pb.Next() {
+			if _, err := s.CallSync("echo", payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMuxPipelinedCalls is the in-process (net.Pipe) variant of
+// the multiplexed pipelined benchmark.
+func BenchmarkMuxPipelinedCalls(b *testing.B) {
+	c := benchPair(b, 64)
+	b.SetBytes(64)
+	b.SetParallelism(32)
+	b.RunParallel(func(pb *testing.PB) {
+		s := c.Stream(8)
+		payload := make([]byte, 64)
+		for pb.Next() {
+			if _, err := s.CallSync("echo", payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -75,6 +75,19 @@ const (
 // exhausting memory.
 const maxFrame = 64 << 20
 
+// Call ids carry the logical stream in their top 16 bits so one
+// connection can multiplex many streams without a wire-format change:
+// v1 peers simply echo the id back. Stream 0 is the connection's
+// default stream (plain Client calls); Client.Stream allocates the
+// rest.
+const (
+	streamShift   = 48
+	streamSeqMask = (uint64(1) << streamShift) - 1
+)
+
+// streamOf extracts the logical stream a call id belongs to.
+func streamOf(callID uint64) uint16 { return uint16(callID >> streamShift) }
+
 // Common errors.
 var (
 	ErrClosed         = errors.New("rpc: connection closed")
@@ -173,6 +186,7 @@ type Server struct {
 	lnMu      sync.Mutex
 	listeners []net.Listener
 	conns     map[net.Conn]struct{}
+	rings     []*Ring
 	closed    bool
 	workers   int
 	wg        sync.WaitGroup
@@ -229,6 +243,28 @@ func (s *Server) RegisterCtx(method string, h HandlerCtx) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.handlers[method] = handlerEntry{fn: h}
+}
+
+// handlerFor resolves a method to its handler entry and the current
+// interceptor — the lookup the in-process ring transport shares with
+// the framed read loop.
+func (s *Server) handlerFor(method string) (handlerEntry, ServerInterceptor, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	h, ok := s.handlers[method]
+	return h, s.interceptor, ok
+}
+
+// attachRing registers an in-process ring transport with the server's
+// lifecycle: Close tears it down with the framed connections.
+func (s *Server) attachRing(r *Ring) error {
+	s.lnMu.Lock()
+	defer s.lnMu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.rings = append(s.rings, r)
+	return nil
 }
 
 // Methods returns the registered method names (unordered).
@@ -331,7 +367,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 			h, ok := s.handlers[string(f.method)] // alloc-free []byte map key
 			icept := s.interceptor
 			s.mu.RUnlock()
-			t := task{h: h.fn, callID: f.callID, payload: f.payload, deadlineNS: deadlineNS}
+			t := task{h: h.fn, callID: f.callID, stream: streamOf(f.callID), payload: f.payload, deadlineNS: deadlineNS}
 			if !ok {
 				t.h = nil
 			} else if icept != nil {
@@ -375,7 +411,12 @@ func (s *Server) Close() {
 	for c := range s.conns {
 		c.Close()
 	}
+	rings := s.rings
+	s.rings = nil
 	s.lnMu.Unlock()
+	for _, r := range rings {
+		r.Close()
+	}
 	s.wg.Wait()
 }
 
@@ -421,10 +462,19 @@ func putCall(call *Call) {
 // requests by call id. A semaphore of size callers bounds in-flight
 // calls, mirroring the paper's caller-thread pool: the slot is held
 // from send until the reply (or failure) arrives.
+//
+// One connection can carry many logical streams: Stream carves an
+// independent caller pool out of the shared connection, and the server
+// dispatches queued work round-robin across streams, so a saturated
+// stream cannot head-of-line-block its siblings (see Stream).
 type Client struct {
 	conn   net.Conn
 	w      *connWriter
 	nextID atomic.Uint64
+
+	// nextStream allocates logical stream ids for Stream; stream 0 is
+	// the Client's own default stream.
+	nextStream atomic.Uint32
 
 	mu      sync.Mutex
 	pending map[uint64]*Call
@@ -460,6 +510,10 @@ func NewClient(conn net.Conn, callers int) *Client {
 		pending: make(map[uint64]*Call),
 		sem:     make(chan struct{}, callers),
 	}
+	// A failed batch write carries the root cause of the teardown:
+	// queued-but-unflushed frames must fail their pending calls with
+	// that error, not strand them until a read-side deadline.
+	c.w.onErr = func(err error) { c.failAll(fmt.Errorf("rpc: write failed: %w", err)) }
 	go c.readLoop()
 	return c
 }
@@ -575,10 +629,12 @@ func (c *Client) Healthy() bool {
 }
 
 // start registers and sends one frame for call, which must carry its
-// Method and a buffered Done channel. useSem reserves a caller-pool
-// slot (held until the call finishes); pings bypass the pool so
-// heartbeats get through even when the pool is saturated.
-func (c *Client) start(ctx context.Context, kind byte, call *Call, payload []byte, useSem bool) *Call {
+// Method and a buffered Done channel. A non-nil sem reserves a
+// caller-pool slot (held until the call finishes); pings bypass the
+// pool so heartbeats get through even when the pool is saturated.
+// stream tags the call id with a logical stream so the server's
+// dispatcher can schedule streams fairly.
+func (c *Client) start(ctx context.Context, kind byte, call *Call, payload []byte, sem chan struct{}, stream uint16) *Call {
 	if kind == kindRequest {
 		if obs := c.obs.Load(); obs != nil {
 			// Opened before the caller-pool wait so the observed hop covers
@@ -586,15 +642,15 @@ func (c *Client) start(ctx context.Context, kind byte, call *Call, payload []byt
 			call.obsDone = (*obs)(call.Method, payload)
 		}
 	}
-	if useSem {
+	if sem != nil {
 		if ctx.Done() == nil {
 			// Background context: plain send, no select machinery.
-			c.sem <- struct{}{}
-			call.sem = c.sem
+			sem <- struct{}{}
+			call.sem = sem
 		} else {
 			select {
-			case c.sem <- struct{}{}:
-				call.sem = c.sem
+			case sem <- struct{}{}:
+				call.sem = sem
 			case <-ctx.Done():
 				call.fail(ctx.Err())
 				return call
@@ -608,30 +664,49 @@ func (c *Client) start(ctx context.Context, kind byte, call *Call, payload []byt
 		call.fail(err)
 		return call
 	}
-	id := c.nextID.Add(1)
+	id := uint64(stream)<<streamShift | c.nextID.Add(1)&streamSeqMask
 	call.replyTo = id
 	c.pending[id] = call
 	c.mu.Unlock()
 
 	var buf *[]byte
 	var err error
+	dlNS := int64(0)
 	if kind == kindRequest {
 		if dl, hasDL := ctx.Deadline(); hasDL {
 			// Propagate the caller's absolute deadline on the wire so the
 			// server can drop the request unexecuted once it expires.
-			buf, err = encodeFrameDL(id, call.Method, dl.UnixNano(), payload)
+			kind = kindRequestDL
+			dlNS = dl.UnixNano()
+		}
+	}
+	// Stream 0 flushes inline: an idle writer writes on this goroutine
+	// with no handoff latency, and reports the write error
+	// synchronously. Mux streams enqueue asynchronously instead — their
+	// callers park right after sending, so routing every stream's
+	// frames through the flusher coalesces the concurrent streams'
+	// frames into one writev per scheduling round rather than one
+	// syscall per call (pipelined throughput is what streams exist
+	// for); failures surface through connection teardown.
+	inline := stream == 0
+	if (kind == kindRequest || kind == kindRequestDL) && len(payload) >= lendMin {
+		// Zero-copy send: encode only the header into a pooled buffer
+		// and lend the caller's payload to the writer, which gathers
+		// the two into the socket with writev. The payload must stay
+		// unmutated until the call completes (see Go).
+		buf, err = encodeLent(kind, id, call.Method, dlNS, payload)
+		if err == nil {
+			err = c.w.enqueueVec(buf, payload, inline)
+		}
+	} else {
+		if kind == kindRequestDL {
+			buf, err = encodeFrameDL(id, call.Method, dlNS, payload)
 		} else {
 			buf, err = encodeFrame(kind, id, call.Method, payload)
 		}
-	} else {
-		buf, err = encodeFrame(kind, id, call.Method, payload)
-	}
-	if err == nil {
-		// Inline enqueue: an idle writer flushes on this goroutine and
-		// reports the write error synchronously; under load the frame
-		// coalesces into the flusher's next batch and any failure
-		// surfaces through connection teardown.
-		err = c.w.enqueue(buf, true)
+		if err == nil {
+			err = c.w.enqueue(buf, inline)
+		}
 	}
 	if err != nil {
 		c.mu.Lock()
@@ -649,14 +724,16 @@ func (c *Client) start(ctx context.Context, kind byte, call *Call, payload []byt
 // every one of them. The returned Call is delivered on its Done
 // channel when complete. Go blocks while the caller pool is full. The
 // payload must not be mutated until the call completes: under load the
-// write is asynchronous.
+// write is asynchronous, and payloads of lendMin bytes or more are
+// lent to the connection writer (gathered into the socket by writev
+// with no intermediate copy) rather than copied into a frame buffer.
 func (c *Client) Go(method string, payload []byte, done chan *Call) *Call {
 	if done == nil {
 		done = make(chan *Call, 1)
 	} else if cap(done) == 0 {
 		panic("rpc: done channel is unbuffered")
 	}
-	return c.start(context.Background(), kindRequest, &Call{Method: method, Done: done}, payload, true)
+	return c.start(context.Background(), kindRequest, &Call{Method: method, Done: done}, payload, c.sem, 0)
 }
 
 // abort removes a call whose context fired before the reply and tells
@@ -685,7 +762,7 @@ func (c *Client) abort(call *Call, err error) {
 // and a cancel frame asks the server to stop the handler.
 func (c *Client) Call(ctx context.Context, method string, payload []byte) ([]byte, error) {
 	done := getDone()
-	call := c.start(ctx, kindRequest, getCall(method, done), payload, true)
+	call := c.start(ctx, kindRequest, getCall(method, done), payload, c.sem, 0)
 	select {
 	case <-done:
 	case <-ctx.Done():
@@ -702,7 +779,7 @@ func (c *Client) Call(ctx context.Context, method string, payload []byte) ([]byt
 // CallSync performs a blocking call with no deadline.
 func (c *Client) CallSync(method string, payload []byte) ([]byte, error) {
 	done := getDone()
-	call := c.start(context.Background(), kindRequest, getCall(method, done), payload, true)
+	call := c.start(context.Background(), kindRequest, getCall(method, done), payload, c.sem, 0)
 	<-done
 	reply, err := call.Reply, call.Err
 	putDone(done)
@@ -714,7 +791,7 @@ func (c *Client) CallSync(method string, payload []byte) ([]byte, error) {
 // A healthy connection answers even while saturated with slow calls.
 func (c *Client) Ping(ctx context.Context) error {
 	done := getDone()
-	call := c.start(ctx, kindPing, getCall("", done), nil, false)
+	call := c.start(ctx, kindPing, getCall("", done), nil, nil, 0)
 	select {
 	case <-done:
 	case <-ctx.Done():

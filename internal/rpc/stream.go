@@ -1,0 +1,122 @@
+package rpc
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// maxStreams bounds the logical streams one connection can carry: the
+// stream id rides in the top 16 bits of the call id.
+const maxStreams = 1 << 16
+
+// Stream is one logical stream multiplexed over a shared connection.
+// Each stream has its own caller pool, so a stream saturated with slow
+// calls only exhausts its own in-flight budget, and the server
+// schedules queued work round-robin across the streams of a
+// connection — together they remove the head-of-line interaction
+// between one busy caller and everyone else sharing the transport
+// (the per-call HOL blocking the paper's §4.5 flow provisioning
+// eliminates in hardware).
+//
+// Streams share the connection's write coalescing and read loop, so a
+// fleet of streams still costs one socket, one flusher and one
+// reader. A Stream is safe for concurrent use by multiple goroutines.
+type Stream struct {
+	c   *Client
+	id  uint16
+	sem chan struct{}
+
+	// obs is the stream's own call observer (falls back to the
+	// connection's observer when unset).
+	obs atomic.Pointer[CallObserver]
+}
+
+// Stream carves a new logical stream out of the connection with its
+// own caller pool of the given size (<=0 means 8). It panics when the
+// connection's 65535-stream budget is exhausted — a leak of streams,
+// not a load condition.
+func (c *Client) Stream(callers int) *Stream {
+	if callers <= 0 {
+		callers = 8
+	}
+	id := c.nextStream.Add(1)
+	if id >= maxStreams {
+		panic("rpc: stream ids exhausted on connection")
+	}
+	return &Stream{c: c, id: uint16(id), sem: make(chan struct{}, callers)}
+}
+
+// ID returns the stream's logical id on its connection.
+func (s *Stream) ID() uint16 { return s.id }
+
+// Conn returns the client whose connection this stream multiplexes
+// over.
+func (s *Stream) Conn() *Client { return s.c }
+
+// SetObserver installs a per-stream call observer (nil removes it).
+func (s *Stream) SetObserver(obs CallObserver) {
+	if obs == nil {
+		s.obs.Store(nil)
+		return
+	}
+	s.obs.Store(&obs)
+}
+
+// startStream mirrors Client.start with the stream's id and pool, and
+// the stream-level observer if one is installed.
+func (s *Stream) start(ctx context.Context, call *Call, payload []byte) *Call {
+	if obs := s.obs.Load(); obs != nil {
+		call.obsDone = (*obs)(call.Method, payload)
+	}
+	return s.c.start(ctx, kindRequest, call, payload, s.sem, s.id)
+}
+
+// Call performs a blocking call on this stream bounded by ctx,
+// identical to Client.Call but drawing from the stream's caller pool.
+func (s *Stream) Call(ctx context.Context, method string, payload []byte) ([]byte, error) {
+	done := getDone()
+	call := s.start(ctx, getCall(method, done), payload)
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.c.abort(call, ctx.Err())
+		<-done
+	}
+	reply, err := call.Reply, call.Err
+	putDone(done)
+	putCall(call)
+	return reply, err
+}
+
+// CallSync performs a blocking call on this stream with no deadline.
+func (s *Stream) CallSync(method string, payload []byte) ([]byte, error) {
+	done := getDone()
+	call := s.start(context.Background(), getCall(method, done), payload)
+	<-done
+	reply, err := call.Reply, call.Err
+	putDone(done)
+	putCall(call)
+	return reply, err
+}
+
+// Go starts an asynchronous call on this stream (see Client.Go for
+// the done-channel and payload-lending contracts).
+func (s *Stream) Go(method string, payload []byte, done chan *Call) *Call {
+	if done == nil {
+		done = make(chan *Call, 1)
+	} else if cap(done) == 0 {
+		panic("rpc: done channel is unbuffered")
+	}
+	return s.start(context.Background(), &Call{Method: method, Done: done}, payload)
+}
+
+// Ping round-trips the shared connection's heartbeat (streams share
+// connection health).
+func (s *Stream) Ping(ctx context.Context) error { return s.c.Ping(ctx) }
+
+// Healthy reports whether the shared connection is alive.
+func (s *Stream) Healthy() bool { return s.c.Healthy() }
+
+// Close releases the stream. The shared connection stays open — close
+// the Client to tear the transport down; stream ids are not reused.
+func (s *Stream) Close() error { return nil }

@@ -83,34 +83,85 @@ type task struct {
 	ctx     *reqCtx
 	callID  uint64
 	payload []byte
+	// stream is the logical stream the call id belongs to; the
+	// dispatcher schedules streams round-robin so a flooded stream
+	// cannot head-of-line-block its siblings on the shared connection.
+	stream uint16
 	// deadlineNS is the request's wire-propagated absolute deadline
 	// (UnixNano; 0: none). Checked when a worker picks the task up: work
 	// that expired while queued is dropped, not executed.
 	deadlineNS int64
 }
 
+// streamQ is one stream's FIFO of queued tasks, drained through a
+// head index so pops never shift the slice.
+type streamQ struct {
+	tasks []task
+	head  int
+	ready bool // present in the dispatcher's round-robin list
+}
+
+func (q *streamQ) push(t task) { q.tasks = append(q.tasks, t) }
+
+func (q *streamQ) pop() task {
+	t := q.tasks[q.head]
+	q.tasks[q.head] = task{}
+	q.head++
+	if q.head == len(q.tasks) {
+		q.tasks = q.tasks[:0]
+		q.head = 0
+	}
+	return t
+}
+
+func (q *streamQ) size() int { return len(q.tasks) - q.head }
+
 // dispatcher runs a connection's request handlers on a bounded pool of
 // workers, replacing goroutine-per-request: under load at most max
-// handlers run concurrently and up to max more requests queue in the
-// channel, which backpressures the read loop instead of spawning
-// without bound. Workers are spawned lazily, so an idle connection
-// costs one goroutine (the read loop), not max+1.
+// handlers run concurrently and the rest queue, per logical stream.
+// Queued streams are scheduled round-robin, so one stream flooding the
+// connection delays its own calls, not its siblings' — the software
+// analogue of per-flow provisioning in the paper's RPC fabric, and the
+// fix for the per-call head-of-line interaction a single shared FIFO
+// had. Workers are spawned lazily, so an idle connection costs one
+// goroutine (the read loop), not max+1.
+//
+// Backpressure differs by stream. Stream 0 (the plain Client path)
+// keeps the original contract: once max tasks are queued, submit
+// blocks the read loop, which in turn backpressures the peer through
+// TCP — v1 behaviour exactly. Multiplexed streams must never block the
+// shared read loop (that would stall the very siblings multiplexing is
+// meant to isolate), so a mux stream whose queue is full has its
+// request shed with a typed ShedError instead — the same vocabulary
+// the admission layer uses, so IsShed/retry-budget handling applies
+// unchanged. With client-side stream caller pools at or below the
+// worker bound, the shed path is never hit in practice.
 //
 // Ping and cancel frames are never routed through the pool — the read
 // loop services them directly — so heartbeats and cancellation stay
 // responsive while every worker is stuck in a slow handler.
 type dispatcher struct {
-	w    *connWriter
-	work chan task
-	max  int
+	w   *connWriter
+	max int
 
 	mu      sync.Mutex
+	workC   *sync.Cond // workers wait here for queued tasks
+	spaceC  *sync.Cond // stream-0 submit waits here for queue space
+	queues  map[uint16]*streamQ
+	rr      []*streamQ // round-robin list of streams with queued tasks
+	rrIdx   int
+	queued0 int // stream 0's queued tasks (blocking-backpressure bound)
 	spawned int
 	idle    int
+	closed  bool
 
 	// dropped, when non-nil, counts requests dropped unexecuted because
 	// their deadline expired while they queued (the server's counter).
 	dropped *atomic.Uint64
+
+	// shed counts mux-stream requests refused with ShedError because
+	// their stream's queue was full.
+	shed atomic.Uint64
 
 	// inflight maps live call ids to their request contexts so
 	// kindCancel frames and connection teardown can fire them.
@@ -122,12 +173,15 @@ func newDispatcher(w *connWriter, workers int) *dispatcher {
 	if workers <= 0 {
 		workers = defaultWorkers
 	}
-	return &dispatcher{
+	d := &dispatcher{
 		w:        w,
-		work:     make(chan task, workers),
 		max:      workers,
+		queues:   make(map[uint16]*streamQ),
 		inflight: make(map[uint64]*reqCtx),
 	}
+	d.workC = sync.NewCond(&d.mu)
+	d.spaceC = sync.NewCond(&d.mu)
+	return d
 }
 
 // register records a live call so cancel frames can reach it. It must
@@ -165,20 +219,95 @@ func (d *dispatcher) abortAll() {
 	d.inflightMu.Unlock()
 }
 
+// markReady puts q on the round-robin list if it is not already there.
+// Caller holds d.mu.
+func (d *dispatcher) markReady(q *streamQ) {
+	if !q.ready {
+		q.ready = true
+		d.rr = append(d.rr, q)
+	}
+}
+
+// next pops the next task in round-robin stream order. Caller holds
+// d.mu.
+func (d *dispatcher) next() (task, bool) {
+	for len(d.rr) > 0 {
+		if d.rrIdx >= len(d.rr) {
+			d.rrIdx = 0
+		}
+		q := d.rr[d.rrIdx]
+		if q.size() == 0 {
+			q.ready = false
+			d.rr = append(d.rr[:d.rrIdx], d.rr[d.rrIdx+1:]...)
+			continue
+		}
+		t := q.pop()
+		if q.size() == 0 {
+			q.ready = false
+			d.rr = append(d.rr[:d.rrIdx], d.rr[d.rrIdx+1:]...)
+		} else {
+			d.rrIdx++
+		}
+		if t.stream == 0 {
+			d.queued0--
+			d.spaceC.Signal()
+		}
+		return t, true
+	}
+	return task{}, false
+}
+
 // submit hands one request to the pool. A new worker is spawned only
 // when none is idle and the pool is below its bound; otherwise the
-// task queues, blocking the read loop once max tasks are already
-// waiting (backpressure replaces unbounded goroutine spawn).
+// task queues under its stream. Stream 0 blocks the caller once max
+// tasks are queued (read-loop backpressure, the v1 contract); a mux
+// stream with a full queue sheds instead, because blocking would stall
+// every sibling stream sharing the read loop.
 func (d *dispatcher) submit(t task) {
 	d.mu.Lock()
-	if d.idle == 0 && d.spawned < d.max {
-		d.spawned++
+	if d.closed {
 		d.mu.Unlock()
-		go d.worker(t)
 		return
 	}
+	if t.stream == 0 {
+		for d.queued0 >= d.max && !d.closed {
+			d.spaceC.Wait()
+		}
+		if d.closed {
+			d.mu.Unlock()
+			return
+		}
+	} else if q := d.queues[t.stream]; q != nil && q.size() >= d.max {
+		d.mu.Unlock()
+		d.shed.Add(1)
+		d.refuse(t, shedResponse)
+		return
+	}
+	// Fast path: idle capacity and nothing queued ahead — hand the task
+	// straight to a fresh worker, skipping the queue.
+	if d.idle == 0 && d.spawned < d.max && len(d.rr) == 0 {
+		d.spawned++
+		d.mu.Unlock()
+		go d.worker(t, true)
+		return
+	}
+	q := d.queues[t.stream]
+	if q == nil {
+		q = &streamQ{}
+		d.queues[t.stream] = q
+	}
+	q.push(t)
+	if t.stream == 0 {
+		d.queued0++
+	}
+	d.markReady(q)
+	if d.idle > 0 {
+		d.workC.Signal()
+	} else if d.spawned < d.max {
+		d.spawned++
+		go d.worker(task{}, false) // fetches its first task from the queue
+	}
 	d.mu.Unlock()
-	d.work <- t
 }
 
 // close stops the pool: workers drain queued tasks (their contexts are
@@ -186,23 +315,62 @@ func (d *dispatcher) submit(t task) {
 // loop submits, and only after it has returned is close called, so no
 // send can race the close.
 func (d *dispatcher) close() {
-	close(d.work)
+	d.mu.Lock()
+	d.closed = true
+	d.workC.Broadcast()
+	d.spaceC.Broadcast()
+	d.mu.Unlock()
 }
 
-func (d *dispatcher) worker(t task) {
+// worker runs tasks until the dispatcher closes and the queues drain.
+// runFirst marks whether t carries a real first task (the fast-path
+// spawn) or the goroutine should go straight to the fetch loop.
+func (d *dispatcher) worker(t task, runFirst bool) {
 	for {
-		d.run(t)
-		d.mu.Lock()
-		d.idle++
-		d.mu.Unlock()
-		var ok bool
-		t, ok = <-d.work
-		d.mu.Lock()
-		d.idle--
-		d.mu.Unlock()
-		if !ok {
-			return
+		if runFirst {
+			d.run(t)
 		}
+		runFirst = true
+		d.mu.Lock()
+		for {
+			var ok bool
+			if t, ok = d.next(); ok {
+				break
+			}
+			if d.closed {
+				d.mu.Unlock()
+				return
+			}
+			d.idle++
+			d.workC.Wait()
+			d.idle--
+		}
+		d.mu.Unlock()
+	}
+}
+
+// refusal kinds for refuse.
+const (
+	shedResponse = iota
+	expiredResponse
+)
+
+// refuse answers a request with a typed error without executing it:
+// shedResponse for a full mux-stream queue, expiredResponse for a
+// propagated deadline that passed while the request queued.
+func (d *dispatcher) refuse(t task, why int) {
+	if t.ctx != nil {
+		d.unregister(t.callID)
+	}
+	var msg string
+	switch why {
+	case shedResponse:
+		msg = string(ShedError(0))
+	case expiredResponse:
+		msg = (&DeadlineExceededError{Late: expiredBy(t.deadlineNS)}).Error()
+	}
+	if buf, err := encodeFrame(kindError, t.callID, "", []byte(msg)); err == nil {
+		d.w.enqueue(buf, t.stream == 0)
 	}
 }
 
@@ -211,7 +379,9 @@ func (d *dispatcher) worker(t task) {
 // pre-pool direct-write path. A request whose wire deadline expired
 // while it queued is dropped here — answered with a typed
 // DeadlineExceededError, never executed — so a backed-up pool stops
-// burning capacity on work the caller has already abandoned.
+// burning capacity on work the caller has already abandoned. The
+// deadline is per-request and therefore per-stream: refusing one
+// stream's expired request has no effect on its siblings.
 func (d *dispatcher) run(t task) {
 	var ctx context.Context = context.Background()
 	if t.ctx != nil {
@@ -235,6 +405,21 @@ func (d *dispatcher) run(t task) {
 	} else {
 		out = res
 	}
+	// Stream-0 responses flush inline (lowest latency when the writer
+	// is idle); mux-stream responses route through the flusher so
+	// concurrent streams' responses coalesce into one writev per round
+	// instead of one syscall per response (see Client.start).
+	inline := t.stream == 0
+	if kind == kindResponse && len(out) >= lendMin {
+		// Large response: lend the handler's result to the writer so it
+		// is gathered into the socket without an intermediate copy. The
+		// handler surrendered the slice by returning it, so nothing
+		// mutates it while the write is in flight.
+		if buf, err := encodeLent(kindResponse, t.callID, "", 0, out); err == nil {
+			d.w.enqueueVec(buf, out, inline)
+			return
+		}
+	}
 	buf, err := encodeFrame(kind, t.callID, "", out)
 	if err != nil {
 		// Response too large to frame: tell the caller instead of
@@ -243,5 +428,5 @@ func (d *dispatcher) run(t task) {
 			return
 		}
 	}
-	d.w.enqueue(buf, true) // best effort: teardown surfaces via read loops
+	d.w.enqueue(buf, inline) // best effort: teardown surfaces via read loops
 }

@@ -1,0 +1,159 @@
+package runtime
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hivemind/internal/rpc"
+)
+
+func echoGateway(t *testing.T) *Gateway {
+	t.Helper()
+	rt := New(DefaultConfig(), nil)
+	t.Cleanup(rt.Close)
+	rt.Register("upper", func(ctx context.Context, in []byte) ([]byte, error) {
+		return bytes.ToUpper(in), nil
+	})
+	g := NewGateway(rt, time.Second)
+	g.Expose("recognize", "upper")
+	t.Cleanup(g.Close)
+	return g
+}
+
+func TestLinkerSelectsRingForCoLocatedGateway(t *testing.T) {
+	g := echoGateway(t)
+	l := NewLinker(LinkerOptions{})
+	defer l.Close()
+
+	link, err := l.Connect(Peer{Gateway: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if link.Kind != TransportRing {
+		t.Fatalf("co-located peer selected %v, want ring", link.Kind)
+	}
+	out, err := link.CallSync("recognize", []byte("swarm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "SWARM" {
+		t.Fatalf("out = %q", out)
+	}
+	if !link.Healthy() {
+		t.Fatal("fresh ring link reported unhealthy")
+	}
+}
+
+func TestLinkerSelectsStreamForRemotePeerAndSharesConn(t *testing.T) {
+	g := echoGateway(t)
+	var dials atomic.Int32
+	l := NewLinker(LinkerOptions{
+		Callers: 8,
+		Dial: func(addr string) (net.Conn, error) {
+			dials.Add(1)
+			cc, sc := rpc.Pair()
+			g.Server().ServeConn(sc)
+			return cc, nil
+		},
+	})
+	defer l.Close()
+
+	a, err := l.Connect(Peer{Addr: "tier-b:9000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.Connect(Peer{Addr: "tier-b:9000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Kind != TransportStream || b.Kind != TransportStream {
+		t.Fatalf("remote peers selected %v/%v, want streams", a.Kind, b.Kind)
+	}
+	if got := dials.Load(); got != 1 {
+		t.Fatalf("two links to one address dialled %d conns, want 1 shared", got)
+	}
+	sa, sb := a.Transport.(*rpc.Stream), b.Transport.(*rpc.Stream)
+	if sa.Conn() != sb.Conn() {
+		t.Fatal("streams to the same address should share a connection")
+	}
+	if sa.ID() == sb.ID() {
+		t.Fatal("links must ride distinct logical streams")
+	}
+	if l.Client("tier-b:9000") != sa.Conn() {
+		t.Fatal("Client() should expose the shared connection")
+	}
+
+	// Both logical links serve calls concurrently over the one socket.
+	var wg sync.WaitGroup
+	for _, link := range []*Link{a, b} {
+		link := link
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				out, err := link.CallSync("recognize", []byte("hive"))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if string(out) != "HIVE" {
+					t.Errorf("out = %q", out)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestLinkerRejectsAmbiguousAndEmptyPeers(t *testing.T) {
+	g := echoGateway(t)
+	l := NewLinker(LinkerOptions{})
+	defer l.Close()
+	if _, err := l.Connect(Peer{Gateway: g, Addr: "x:1"}); err == nil {
+		t.Fatal("ambiguous peer accepted")
+	}
+	if _, err := l.Connect(Peer{}); err == nil {
+		t.Fatal("empty peer accepted")
+	}
+}
+
+func TestLinkerCloseFailsLinksAndRefusesNew(t *testing.T) {
+	g := echoGateway(t)
+	l := NewLinker(LinkerOptions{
+		Dial: func(addr string) (net.Conn, error) {
+			cc, sc := rpc.Pair()
+			g.Server().ServeConn(sc)
+			return cc, nil
+		},
+	})
+	ring, err := l.Connect(Peer{Gateway: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := l.Connect(Peer{Addr: "tier-b:9000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ring.CallSync("recognize", nil); !errors.Is(err, rpc.ErrClosed) {
+		t.Fatalf("ring call after close: err = %v, want ErrClosed", err)
+	}
+	if _, err := stream.CallSync("recognize", nil); !errors.Is(err, rpc.ErrClosed) {
+		t.Fatalf("stream call after close: err = %v, want ErrClosed", err)
+	}
+	if _, err := l.Connect(Peer{Gateway: g}); !errors.Is(err, rpc.ErrClosed) {
+		t.Fatalf("connect after close: err = %v, want ErrClosed", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal("double close should be a no-op")
+	}
+}
