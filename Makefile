@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-eval race-ring chaos crash-smoke live-smoke overload-smoke bench bench-rpc bench-eval bench-gateway bench-store bench-all sweep sweep-parity examples fmt vet clean
+.PHONY: all build test race race-eval race-ring chaos crash-smoke live-smoke overload-smoke ingress-smoke bench bench-rpc bench-eval bench-gateway bench-store bench-all sweep sweep-parity examples fmt vet clean
 
 all: build vet test
 
@@ -61,13 +61,27 @@ live-smoke:
 overload-smoke:
 	$(GO) run ./cmd/hivemind-loadgen -smoke -duration 30s -load 1.5
 
+# Ingress smoke run: a 3-member queue group behind the async HTTP job
+# API, driven open-loop at 1.8x its measured capacity. The gate asserts
+# the group shed load (503 + Retry-After made it through the HTTP
+# mapping) while admitted-request p99 held the SLO.
+ingress-smoke:
+	$(GO) run ./cmd/hivemind-loadgen -http -gateways 3 -smoke \
+		-duration 20s -load 1.8 -exec 20ms -workers 4 -slo 400ms
+
 # Gateway overload benchmark: the same fleet driven at 2x capacity with
 # admission control off, then on, recorded to BENCH_gateway.json. The
 # committed baseline shows the uncontrolled collapse (goodput craters,
 # p99 pegs at the deadline) against the controlled profile (goodput
-# holds at capacity, p99 stays low, excess is shed).
+# holds at capacity, p99 stays low, excess is shed). The HTTP-path
+# suite (1 gateway, 3-gateway queue group, 3-gateway duplicate-heavy)
+# is gated against the committed "gateway-http" medians at 10% before
+# the file is rewritten, mirroring the bench-rpc gate.
 bench-gateway:
 	$(GO) run ./cmd/hivemind-loadgen -compare -duration 10s -load 2 -json BENCH_gateway.json
+	$(GO) run ./cmd/hivemind-loadgen -http -suite -duration 10s -load 1.5 -exec 10ms -workers 8 \
+		-gate BENCH_gateway.json -gate-label gateway-http -tolerance 0.10 \
+		-json BENCH_gateway.json -label gateway-http
 
 # RPC data-plane benchmarks, recorded as JSON under BENCH_LABEL
 # (default "post"). -count=5 runs are collapsed to per-benchmark

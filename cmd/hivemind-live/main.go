@@ -10,6 +10,13 @@
 //	hivemind-live -replicas 3 -requests 20 -trace live.json
 //	hivemind-live -kill -trace live.json          # crash the primary midway
 //	hivemind-live -http 127.0.0.1:8080            # keep serving /metrics /trace /debug/pprof
+//	hivemind-live -ingress 127.0.0.1:8081         # keep serving the async HTTP job API
+//
+// With -ingress the fleet stays up serving the job API:
+//
+//	curl -d 'ping' 'http://127.0.0.1:8081/do/pipeline'            # → {"resultId":"..."}
+//	curl 'http://127.0.0.1:8081/then/<resultId>'                  # → ping.sense.plan.act
+//	curl -d 'ping' 'http://127.0.0.1:8081/do/pipeline?then=true'  # block for the result
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 
 	"hivemind/internal/chaos"
 	"hivemind/internal/controller"
+	"hivemind/internal/ingress"
 	"hivemind/internal/metrics"
 	"hivemind/internal/rpc"
 	"hivemind/internal/runtime"
@@ -53,15 +61,17 @@ func main() {
 			"durable store directory: recover prior state from its snapshot+WAL and write-ahead log this run (empty: in-memory)")
 		httpAddr = flag.String("http", "",
 			"after the run, keep serving /metrics, /trace and /debug/pprof on this address")
+		ingressAddr = flag.String("ingress", "",
+			"after the run, keep serving the async HTTP job API (POST /do/:job, GET /then/:id) on this address")
 	)
 	flag.Parse()
-	if err := run(*replicas, *requests, *kill, *seed, *traceFn, *walDir, *httpAddr); err != nil {
+	if err := run(*replicas, *requests, *kill, *seed, *traceFn, *walDir, *httpAddr, *ingressAddr); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(replicas, requests int, kill bool, seed int64, traceFn, walDir, httpAddr string) error {
+func run(replicas, requests int, kill bool, seed int64, traceFn, walDir, httpAddr, ingressAddr string) error {
 	if replicas < 1 {
 		return fmt.Errorf("need at least 1 replica, got %d", replicas)
 	}
@@ -175,6 +185,30 @@ func run(replicas, requests int, kill bool, seed int64, traceFn, walDir, httpAdd
 		}
 		fmt.Printf("wrote %d spans to %s\n%s", rec.Len(), traceFn, rec.Summary())
 	}
+	if ingressAddr != "" {
+		// The job API front door: async submissions with durable result
+		// ids, dispatched through the leader-following client, resolved
+		// from checkpoints when memory has no record of an id.
+		ing, err := ingress.NewServer(ingress.Options{
+			Dispatcher: fc,
+			Encode:     runtime.EncodeTask,
+			Lookup:     nodes[0].gw.TaskResult,
+			Monitor:    reg,
+		})
+		if err != nil {
+			return err
+		}
+		defer ing.Close()
+		reg.GaugeFunc("ingress-pending", func() float64 { return float64(ing.Depth()) })
+		if httpAddr != "" {
+			go func() {
+				fmt.Printf("serving /metrics /trace /debug/pprof on %s\n", httpAddr)
+				http.ListenAndServe(httpAddr, metrics.DebugMux(reg, rec))
+			}()
+		}
+		fmt.Printf("serving job API (POST /do/:job, GET /then/:id) on %s (Ctrl-C to stop)\n", ingressAddr)
+		return http.ListenAndServe(ingressAddr, ing)
+	}
 	if httpAddr != "" {
 		fmt.Printf("serving /metrics /trace /debug/pprof on %s (Ctrl-C to stop)\n", httpAddr)
 		return http.ListenAndServe(httpAddr, metrics.DebugMux(reg, rec))
@@ -255,6 +289,7 @@ func startFleet(n int, seed int64, live *trace.Live, reg *metrics.Registry,
 		g := runtime.NewGatewayConfig(rt, gcfg)
 		g.SetMonitor(reg)
 		g.ExposeChain("pipeline", chain)
+		g.ExposeBatch()
 		g.Server().SetInterceptor(runtime.TraceServerInterceptor(live, "rpc"))
 		gwPtr.Store(g)
 

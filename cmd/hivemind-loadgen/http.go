@@ -1,0 +1,366 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hivemind/internal/ingress"
+	"hivemind/internal/metrics"
+	"hivemind/internal/rpc"
+	"hivemind/internal/runtime"
+	"hivemind/internal/stats"
+	"hivemind/internal/store"
+)
+
+// This file is the loadgen's HTTP-path mode (-http): instead of raw
+// RPC against one gateway, it boots a queue group of N ingress+gateway
+// nodes and drives the async job API (POST /do/work?then=true)
+// open-loop. Each node has its own runtime semaphore — its own finite
+// backend — so the group's capacity should scale with N; the
+// consistent-hash group with p2c spill is what has to deliver that
+// scaling, and the duplicate-heavy variant shows coalescing collapsing
+// identical pending jobs into single dispatches.
+
+// httpNode is one ingress front-end with its own gateway and backend.
+type httpNode struct {
+	rt     *runtime.Runtime
+	gw     *runtime.Gateway
+	linker *runtime.Linker
+	ing    *ingress.Server
+	srv    *http.Server
+	ln     net.Listener
+	url    string
+	reg    *metrics.Registry
+}
+
+type httpStack struct {
+	nodes  []*httpNode
+	client *http.Client
+}
+
+// newHTTPStack boots n ingress+gateway nodes on loopback. Every
+// ingress dispatches to its co-located gateway over the Linker's shm
+// ring (the zero-copy fast path) and forwards non-owned jobs to the
+// owning peer over HTTP.
+func newHTTPStack(o options, n int) (*httpStack, error) {
+	nodes := make([]*httpNode, n)
+	urls := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	s := &httpStack{nodes: nodes}
+	for i := 0; i < n; i++ {
+		rcfg := runtime.DefaultConfig()
+		rcfg.Retries = 0
+		rcfg.MaxInFlight = o.workers
+		rt := runtime.New(rcfg, store.NewDB())
+		exec := o.exec
+		rt.Register("work", func(ctx context.Context, in []byte) ([]byte, error) {
+			select {
+			case <-time.After(exec):
+				return in, nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		})
+		gcfg := runtime.DefaultGatewayConfig()
+		gcfg.StepRespawns = 0
+		if o.admission {
+			gcfg.Overload = &runtime.AdmissionConfig{
+				MaxConcurrent: o.workers,
+				QueueLen:      o.queue,
+				RetryAfter:    50 * time.Millisecond,
+			}
+		}
+		g := runtime.NewGatewayConfig(rt, gcfg)
+		reg := metrics.NewRegistry()
+		g.SetMonitor(reg)
+		g.Expose("work", "work")
+		g.ExposeBatch()
+
+		// The ring's consumer pool bounds concurrent handlers on the
+		// co-located fast path. It must be much larger than the
+		// admission lane (MaxConcurrent + QueueLen), or excess arrivals
+		// queue invisibly in ring slots instead of reaching admission's
+		// bounded queue and shedding with Retry-After.
+		l := runtime.NewLinker(runtime.LinkerOptions{
+			Callers: 2048,
+			Ring:    rpc.RingOptions{Slots: 4096, Consumers: 512},
+		})
+		link, err := l.Connect(runtime.Peer{Gateway: g})
+		if err != nil {
+			return nil, err
+		}
+
+		members := make([]ingress.Member, n)
+		for j := 0; j < n; j++ {
+			j := j
+			members[j] = ingress.Member{
+				ID:   fmt.Sprintf("gw-%d", j),
+				URL:  urls[j],
+				Self: j == i,
+				Depth: func() int {
+					if nd := nodes[j]; nd != nil && nd.ing != nil {
+						return nd.ing.Depth()
+					}
+					return 0
+				},
+			}
+		}
+		ing, err := ingress.NewServer(ingress.Options{
+			Dispatcher: link,
+			Monitor:    reg,
+			// Spill must trigger below the owner's shed point
+			// (MaxConcurrent + QueueLen = 3×workers), or a hot hash
+			// owner sheds load the rest of the group had room for.
+			Group:   ingress.NewQueueGroup(members, ingress.GroupOptions{SpillDepth: 2 * o.workers}),
+			Batch:   ingress.BatchOptions{Window: o.batchWindow},
+			Timeout: o.deadline + time.Second,
+		})
+		if err != nil {
+			return nil, err
+		}
+		srv := &http.Server{Handler: ing}
+		go srv.Serve(lns[i])
+		nodes[i] = &httpNode{rt: rt, gw: g, linker: l, ing: ing, srv: srv, ln: lns[i], url: urls[i], reg: reg}
+	}
+	s.client = &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        4096,
+			MaxIdleConnsPerHost: 2048,
+			MaxConnsPerHost:     4096,
+			IdleConnTimeout:     time.Minute,
+		},
+	}
+	return s, nil
+}
+
+func (s *httpStack) close() {
+	for _, nd := range s.nodes {
+		if nd == nil {
+			continue
+		}
+		nd.srv.Close()
+		nd.ing.Close()
+		nd.linker.Close()
+		nd.gw.Close()
+		nd.rt.Close()
+	}
+	s.client.CloseIdleConnections()
+}
+
+// post submits one job with ?then=true and classifies the outcome by
+// status code.
+func (s *httpStack) post(ctx context.Context, nodeIdx int, payload string) (int, error) {
+	url := s.nodes[nodeIdx%len(s.nodes)].url + "/do/work?then=true"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(payload))
+	if err != nil {
+		return 0, err
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// calibrate measures the group's closed-loop saturation: workers ×
+// nodes outstanding jobs, unique payloads so nothing coalesces.
+func (s *httpStack) calibrate(o options) float64 {
+	const window = time.Second
+	var done atomic.Int64
+	ctx, cancel := context.WithTimeout(context.Background(), window)
+	defer cancel()
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < o.workers*len(s.nodes); w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ctx.Err() == nil; i++ {
+				rctx, rcancel := context.WithTimeout(context.Background(), 5*time.Second)
+				status, err := s.post(rctx, w, fmt.Sprintf("cal-%d-%d", w, i))
+				rcancel()
+				if err == nil && status == http.StatusOK {
+					done.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return float64(done.Load()) / time.Since(start).Seconds()
+}
+
+// hotPool is the duplicate-heavy workload's working set: a handful of
+// hot payloads arriving often enough to overlap in flight.
+var hotPool = [8]string{"hot-0", "hot-1", "hot-2", "hot-3", "hot-4", "hot-5", "hot-6", "hot-7"}
+
+// openLoop drives the job API at a constant arrival rate. A `dup`
+// fraction of arrivals draws its payload from hotPool; the rest are
+// unique.
+func (s *httpStack) openLoop(o options, rate, dup float64) result {
+	interval := time.Duration(float64(time.Second) / rate)
+	var (
+		offered, ok, shed, timeout, errs atomic.Int64
+		latMu                            sync.Mutex
+		lat                              = &stats.Sample{}
+		wg                               sync.WaitGroup
+	)
+	fire := func(i int, at time.Time) {
+		offered.Add(1)
+		payload := fmt.Sprintf("u-%d", i)
+		if dup > 0 && float64(i%1000) < dup*1000 {
+			payload = hotPool[i%len(hotPool)]
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithDeadline(context.Background(), at.Add(o.deadline))
+			defer cancel()
+			status, err := s.post(ctx, i, payload)
+			elapsed := time.Since(at) // from scheduled arrival: no omission
+			switch {
+			case err == nil && status == http.StatusOK:
+				ok.Add(1)
+				latMu.Lock()
+				lat.Add(elapsed.Seconds())
+				latMu.Unlock()
+			case err == nil && status == http.StatusServiceUnavailable:
+				shed.Add(1)
+			case err == nil && status == http.StatusGatewayTimeout,
+				err != nil && ctx.Err() != nil:
+				timeout.Add(1)
+			default:
+				errs.Add(1)
+			}
+		}()
+	}
+
+	start := time.Now()
+	end := start.Add(o.duration)
+	for i := 0; ; i++ {
+		at := start.Add(time.Duration(i) * interval)
+		if at.After(end) {
+			break
+		}
+		if d := time.Until(at); d > 0 {
+			time.Sleep(d)
+		}
+		fire(i, at)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	latMu.Lock()
+	p50 := lat.Percentile(50) * 1e3
+	p99 := lat.Percentile(99) * 1e3
+	latMu.Unlock()
+
+	r := result{
+		OfferedRPS: float64(offered.Load()) / elapsed,
+		GoodputRPS: float64(ok.Load()) / elapsed,
+		Offered:    offered.Load(),
+		OK:         ok.Load(),
+		Shed:       shed.Load(),
+		Timeout:    timeout.Load(),
+		Errors:     errs.Load(),
+		P50Ms:      p50,
+		P99Ms:      p99,
+		Gateways:   len(s.nodes),
+		DupFrac:    dup,
+	}
+	for _, nd := range s.nodes {
+		st := nd.ing.Stats()
+		r.Posted += st.Posted
+		r.Dispatched += st.Dispatched
+		r.Coalesced += st.Coalesced
+		r.Forwarded += st.Forwarded
+		r.Spilled += st.Spilled
+		r.Batched += st.Batched
+		r.DroppedExp += nd.gw.Server().DroppedExpired()
+	}
+	return r
+}
+
+// runHTTPOnce boots a queue group, calibrates it, and drives one
+// open-loop run at rate = -load × capacity.
+func runHTTPOnce(o options, gateways int, dup float64) (result, error) {
+	s, err := newHTTPStack(o, gateways)
+	if err != nil {
+		return result{}, err
+	}
+	defer s.close()
+
+	capacity := s.calibrate(o)
+	rate := o.rate
+	if rate <= 0 {
+		rate = o.load * capacity
+	}
+	if rate <= 0 {
+		return result{}, fmt.Errorf("calibration produced no capacity")
+	}
+	r := s.openLoop(o, rate, dup)
+	r.CapacityRPS = capacity
+	r.Admission = o.admission
+	r.Name = fmt.Sprintf("http/gw=%d/load=%.2fx/dup=%.2f", gateways, rate/capacity, dup)
+	fmt.Printf("%-40s capacity %7.0f rps | offered %7.0f rps | goodput %7.0f rps | p50 %6.1fms p99 %6.1fms | ok %d shed %d timeout %d err %d | posted %d dispatched %d coalesced %d forwarded %d spilled %d batched %d\n",
+		r.Name, capacity, r.OfferedRPS, r.GoodputRPS, r.P50Ms, r.P99Ms,
+		r.OK, r.Shed, r.Timeout, r.Errors,
+		r.Posted, r.Dispatched, r.Coalesced, r.Forwarded, r.Spilled, r.Batched)
+	return r, nil
+}
+
+// runHTTP is -http mode: a single configured row, or with -suite the
+// three BENCH rows — single gateway, N-gateway scaling, N-gateway
+// duplicate-heavy (coalescing).
+func runHTTP(o options) ([]result, error) {
+	if !o.suite {
+		r, err := runHTTPOnce(o, o.gateways, o.dup)
+		if err != nil {
+			return nil, err
+		}
+		return []result{r}, nil
+	}
+	dup := o.dup
+	if dup <= 0 {
+		dup = 0.5
+	}
+	rows := []struct {
+		gw  int
+		dup float64
+	}{
+		{1, 0},
+		{o.gateways, 0},
+		{o.gateways, dup},
+	}
+	var results []result
+	for _, row := range rows {
+		r, err := runHTTPOnce(o, row.gw, row.dup)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, r)
+	}
+	// The scaling headline: an N-member queue group must beat one
+	// gateway by a wide margin or the balancing layer is the bottleneck.
+	if single, group := results[0].GoodputRPS, results[1].GoodputRPS; single > 0 {
+		fmt.Printf("scaling: %d gateways sustain %.2fx single-gateway goodput\n",
+			o.gateways, group/single)
+	}
+	return results, nil
+}

@@ -17,6 +17,17 @@
 //	hivemind-loadgen -compare -json BENCH_gateway.json  # pre/post admission control
 //	hivemind-loadgen -smoke -duration 30s               # CI gate: sheds and holds p99
 //	hivemind-loadgen -burst 500                         # flash crowd mid-run
+//
+// With -http the target is the async job API instead of raw RPC: a
+// queue group of -gateways ingress+gateway nodes on loopback, driven
+// through POST /do/work?then=true. -suite runs the three BENCH rows
+// (1 gateway, N gateways, N gateways duplicate-heavy) and -gate
+// compares goodput and latency medians against a committed BENCH
+// file at -tolerance:
+//
+//	hivemind-loadgen -http -gateways 3 -smoke -duration 20s
+//	hivemind-loadgen -http -suite -json BENCH_gateway.json -label gateway-http
+//	hivemind-loadgen -http -suite -gate BENCH_gateway.json -gate-label gateway-http
 package main
 
 import (
@@ -56,6 +67,15 @@ type options struct {
 	seed      int64
 	jsonPath  string
 	label     string
+
+	httpMode    bool          // drive the async HTTP job API instead of raw RPC
+	gateways    int           // queue-group size in -http mode
+	dup         float64       // fraction of arrivals drawing from the hot payload pool
+	suite       bool          // run the three BENCH rows (gw=1, gw=N, gw=N dup-heavy)
+	batchWindow time.Duration // ingress small-task batching window (0: off)
+	gatePath    string        // committed BENCH file to gate against
+	gateLabel   string        // label inside the gate file
+	tolerance   float64       // allowed regression on gated medians
 }
 
 func main() {
@@ -76,6 +96,14 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 1, "chaos seed")
 	flag.StringVar(&o.jsonPath, "json", "", "write results to this file in BENCH json format")
 	flag.StringVar(&o.label, "label", "gateway-overload", "top-level label in the json output")
+	flag.BoolVar(&o.httpMode, "http", false, "drive the async HTTP job API (queue group of -gateways nodes)")
+	flag.IntVar(&o.gateways, "gateways", 3, "queue-group size in -http mode")
+	flag.Float64Var(&o.dup, "dup", 0, "fraction of arrivals drawn from a hot payload pool (coalescing workload)")
+	flag.BoolVar(&o.suite, "suite", false, "with -http: run the gw=1, gw=N, and gw=N duplicate-heavy BENCH rows")
+	flag.DurationVar(&o.batchWindow, "batch-window", 0, "ingress small-task batching window in -http mode (0: off)")
+	flag.StringVar(&o.gatePath, "gate", "", "gate results against this committed BENCH json file")
+	flag.StringVar(&o.gateLabel, "gate-label", "gateway-http", "label inside the -gate file to compare against")
+	flag.Float64Var(&o.tolerance, "tolerance", 0.10, "allowed fractional regression on gated goodput and p50")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -99,11 +127,29 @@ type result struct {
 	P50Ms       float64 `json:"p50_ms"` // admitted (OK) requests, from scheduled arrival
 	P99Ms       float64 `json:"p99_ms"`
 	DroppedExp  uint64  `json:"server_dropped_expired"` // expired-in-queue drops server-side
+
+	// HTTP-path rows only (-http): queue-group shape and the ingress
+	// counters that show coalescing/forwarding at work.
+	Gateways   int     `json:"gateways,omitempty"`
+	DupFrac    float64 `json:"dup_frac,omitempty"`
+	Posted     uint64  `json:"ingress_posted,omitempty"`
+	Dispatched uint64  `json:"ingress_dispatched,omitempty"`
+	Coalesced  uint64  `json:"ingress_coalesced,omitempty"`
+	Forwarded  uint64  `json:"ingress_forwarded,omitempty"`
+	Spilled    uint64  `json:"ingress_spilled,omitempty"`
+	Batched    uint64  `json:"ingress_batched,omitempty"`
 }
 
 func run(o options) error {
 	var results []result
-	if o.compare {
+	switch {
+	case o.httpMode:
+		rs, err := runHTTP(o)
+		if err != nil {
+			return err
+		}
+		results = rs
+	case o.compare:
 		for _, adm := range []bool{false, true} {
 			oo := o
 			oo.admission = adm
@@ -113,7 +159,7 @@ func run(o options) error {
 			}
 			results = append(results, r)
 		}
-	} else {
+	default:
 		r, err := runOnce(o)
 		if err != nil {
 			return err
@@ -121,6 +167,13 @@ func run(o options) error {
 		results = append(results, r)
 	}
 
+	// Gate against the committed file BEFORE overwriting it, so a
+	// regression never destroys its own baseline.
+	if o.gatePath != "" {
+		if err := gateAgainst(o, results); err != nil {
+			return err
+		}
+	}
 	if o.jsonPath != "" {
 		if err := writeJSON(o.jsonPath, o.label, results); err != nil {
 			return err
@@ -379,13 +432,72 @@ type benchFile struct {
 	Results []result `json:"results"`
 }
 
+// writeJSON updates one label in the BENCH file, preserving every
+// other label already committed there (the RPC-path and HTTP-path
+// rows share BENCH_gateway.json under different labels).
 func writeJSON(path, label string, results []result) error {
-	out := map[string]benchFile{
-		label: {GOOS: goruntime.GOOS, GOARCH: goruntime.GOARCH, CPUs: goruntime.NumCPU(), Results: results},
+	out := map[string]benchFile{}
+	if prev, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(prev, &out); err != nil {
+			return fmt.Errorf("existing %s is not a BENCH json file: %w", path, err)
+		}
 	}
+	out[label] = benchFile{GOOS: goruntime.GOOS, GOARCH: goruntime.GOARCH, CPUs: goruntime.NumCPU(), Results: results}
 	b, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// gateAgainst compares this run's rows with the committed BENCH file:
+// goodput may not drop, and the admitted-latency median may not rise,
+// by more than -tolerance. A missing file, label, or row is a warning
+// (first run records the baseline), never a failure — the gate exists
+// to catch regressions against a baseline that exists.
+func gateAgainst(o options, results []result) error {
+	raw, err := os.ReadFile(o.gatePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gate: %s missing, skipping (run with -json to record a baseline)\n", o.gatePath)
+		return nil
+	}
+	var m map[string]benchFile
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return fmt.Errorf("gate: parse %s: %w", o.gatePath, err)
+	}
+	bf, ok := m[o.gateLabel]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "gate: label %q not in %s, skipping\n", o.gateLabel, o.gatePath)
+		return nil
+	}
+	committed := make(map[string]result, len(bf.Results))
+	for _, r := range bf.Results {
+		committed[r.Name] = r
+	}
+	var failures []string
+	for _, r := range results {
+		c, ok := committed[r.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "gate: no committed row %q, skipping it\n", r.Name)
+			continue
+		}
+		if c.GoodputRPS > 0 && r.GoodputRPS < (1-o.tolerance)*c.GoodputRPS {
+			failures = append(failures, fmt.Sprintf("%s: goodput %.0f rps fell below committed %.0f rps by more than %.0f%%",
+				r.Name, r.GoodputRPS, c.GoodputRPS, o.tolerance*100))
+		}
+		if c.P50Ms > 0 && r.P50Ms > (1+o.tolerance)*c.P50Ms {
+			failures = append(failures, fmt.Sprintf("%s: p50 %.1fms rose above committed %.1fms by more than %.0f%%",
+				r.Name, r.P50Ms, c.P50Ms, o.tolerance*100))
+		}
+		fmt.Printf("gate %-40s goodput %7.0f rps (committed %7.0f) | p50 %6.1fms (committed %6.1f)\n",
+			r.Name, r.GoodputRPS, c.GoodputRPS, r.P50Ms, c.P50Ms)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "gate FAIL: "+f)
+		}
+		return fmt.Errorf("gate: %d regression(s) beyond %.0f%% tolerance", len(failures), o.tolerance*100)
+	}
+	fmt.Printf("gate ok: %d row(s) within %.0f%% of committed medians\n", len(results), o.tolerance*100)
+	return nil
 }

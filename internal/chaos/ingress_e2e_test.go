@@ -1,0 +1,501 @@
+package chaos_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hivemind/internal/chaos"
+	"hivemind/internal/controller"
+	"hivemind/internal/ingress"
+	"hivemind/internal/rpc"
+	"hivemind/internal/runtime"
+	"hivemind/internal/store"
+)
+
+// This file is the ingress acceptance suite: the HTTP job API fronting
+// a 3-replica queue group, driven open-loop at 2× sustained capacity
+// with the controller primary killed mid-run. Result ids are durable
+// task ids, so the invariant under test is end-to-end exactly-once:
+// every POSTed id resolves to exactly one outcome via GET /then/:id —
+// completed jobs committed their final step exactly once (RevGen 1),
+// shed jobs answer 503 with a Retry-After hint, and coalesced
+// duplicates share one id and one result.
+
+// ingMount lets the httptest listener exist before the ingress Server
+// it delegates to (the queue group needs every member's URL up front).
+type ingMount struct {
+	p atomic.Pointer[ingress.Server]
+}
+
+func (m *ingMount) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s := m.p.Load()
+	if s == nil {
+		http.Error(w, "ingress not ready", http.StatusServiceUnavailable)
+		return
+	}
+	s.ServeHTTP(w, r)
+}
+
+func (m *ingMount) depth() int {
+	if s := m.p.Load(); s != nil {
+		return s.Depth()
+	}
+	return 0
+}
+
+type ingNode struct {
+	id      int
+	replica *controller.Replica
+	rt      *runtime.Runtime
+	gw      *runtime.Gateway
+	ing     *ingress.Server
+	url     string
+	fc      *rpc.FailoverClient
+}
+
+// startIngressCluster boots n controller replicas over one shared
+// durable store, each fronting a gateway (durable "work" chain behind
+// admission control) and an ingress server. The n ingresses form a
+// queue group over each other's URLs; each dispatches through its own
+// leader-following failover client, so jobs ingested anywhere execute
+// on the controller primary and survive its death by redirect +
+// checkpoint dedup.
+func startIngressCluster(t *testing.T, n int, seed int64, mon *controller.Monitor,
+	inj *chaos.Injector, db *store.DB, maxConc int, exec time.Duration) []*ingNode {
+	t.Helper()
+	ctrlLns := make([]net.Listener, n)
+	ctrlAddrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctrlLns[i] = ln
+		ctrlAddrs[i] = ln.Addr().String()
+	}
+
+	mounts := make([]*ingMount, n)
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		mounts[i] = &ingMount{}
+		ts := httptest.NewServer(mounts[i])
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+
+	nodes := make([]*ingNode, n)
+	gwAddrs := make([]string, n)
+	gwLns := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		gwLns[i] = ln
+		gwAddrs[i] = ln.Addr().String()
+	}
+
+	for i := 0; i < n; i++ {
+		rcfg := runtime.DefaultConfig()
+		rcfg.Retries = 0
+		rcfg.MaxInFlight = 4 * maxConc
+		rt := runtime.New(rcfg, db)
+		rt.Register("step", func(ctx context.Context, in []byte) ([]byte, error) {
+			select {
+			case <-time.After(exec):
+				return append(append([]byte{}, in...), ".s"...), nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		})
+
+		var gwPtr atomic.Pointer[runtime.Gateway]
+		ccfg := fastCtrlConfig(i, n, seed)
+		ccfg.Fault = inj
+		ccfg.InitialTerm = db.Fence()
+		ccfg.Recover = func(ctx context.Context) (int, error) {
+			if g := gwPtr.Load(); g != nil {
+				return g.Recover(ctx)
+			}
+			return 0, nil
+		}
+		ccfg.OnPromote = func(term uint64) { db.RaiseFence(term) }
+		peers := make(map[int]func() (net.Conn, error), n-1)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			addr := ctrlAddrs[j]
+			peers[j] = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+		}
+		rep := controller.NewReplica(ccfg, peers, mon)
+
+		gcfg := runtime.DefaultGatewayConfig()
+		gcfg.Timeout = 5 * time.Second
+		gcfg.RespawnDelay = gwRespawnDelay
+		gcfg.Checkpoints = store.NewFencedCheckpointLog(db, rep.LeaderTerm)
+		gcfg.Admission = rep.Admission()
+		gcfg.Tracker = rep
+		gcfg.OnFenced = rep.StepDown
+		gcfg.Overload = &runtime.AdmissionConfig{
+			MaxConcurrent: maxConc,
+			QueueLen:      2 * maxConc,
+			RetryAfter:    25 * time.Millisecond,
+		}
+		g := runtime.NewGatewayConfig(rt, gcfg)
+		g.ExposeChain("work", []string{"step"})
+		g.ExposeBatch()
+		gwPtr.Store(g)
+		go g.Server().Serve(gwLns[i])
+		go rep.Server().Serve(ctrlLns[i])
+		// A dead controller takes its gateway down with it: callers see a
+		// transport failure and sweep, not a stale self-redirect.
+		go func() {
+			for rep.State() != controller.Dead {
+				time.Sleep(2 * time.Millisecond)
+			}
+			g.Close()
+		}()
+
+		// Endpoints in replica-id order on every node: NotLeaderError
+		// redirects name the leader by id, which doubles as the index
+		// into this list.
+		fc := rpc.DialFailover(gwAddrs, rpc.FailoverOptions{
+			Callers:      1024,
+			Attempts:     12,
+			RetryBackoff: 10 * time.Millisecond,
+			CallTimeout:  3 * time.Second,
+			Budget:       rpc.NewRetryBudget(rpc.DefaultRetryBudgetRatio, 256),
+		})
+
+		members := make([]ingress.Member, n)
+		for j := 0; j < n; j++ {
+			j := j
+			members[j] = ingress.Member{
+				ID:    fmt.Sprintf("ing-%d", j),
+				URL:   urls[j],
+				Self:  j == i,
+				Depth: mounts[j].depth,
+			}
+		}
+		ing, err := ingress.NewServer(ingress.Options{
+			Dispatcher: fc,
+			Encode:     runtime.EncodeTask,
+			Lookup:     g.TaskResult,
+			Group:      ingress.NewQueueGroup(members, ingress.GroupOptions{SpillDepth: 4 * maxConc}),
+			Timeout:    8 * time.Second,
+			TTL:        5 * time.Minute,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mounts[i].p.Store(ing)
+
+		nodes[i] = &ingNode{id: i, replica: rep, rt: rt, gw: g, ing: ing, url: urls[i], fc: fc}
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.replica.Kill()
+			nd.ing.Close()
+			nd.fc.Close()
+			nd.gw.Close()
+			nd.rt.Close()
+		}
+	})
+	for _, nd := range nodes {
+		nd.replica.Start()
+	}
+	return nodes
+}
+
+func waitIngPrimary(t *testing.T, nodes []*ingNode, timeout time.Duration) *ingNode {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		for _, nd := range nodes {
+			if nd.replica.State() == controller.Leader {
+				return nd
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("no primary elected")
+	return nil
+}
+
+// httpDo POSTs one job and returns (status, resultID, retryAfter).
+func httpDo(client *http.Client, base, job, payload, query string) (int, string, error) {
+	url := base + "/do/" + job
+	if query != "" {
+		url += "?" + query
+	}
+	resp, err := client.Post(url, "application/octet-stream", strings.NewReader(payload))
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return resp.StatusCode, "", err
+	}
+	// The minted id rides the header on both async and ?then=true
+	// responses (the async body carries it as JSON too).
+	return resp.StatusCode, resp.Header.Get(ingress.ResultIDHeader), nil
+}
+
+// httpThen collects one result id: (status, body, retryAfter header).
+func httpThen(client *http.Client, base, id string) (int, string, string, error) {
+	resp, err := client.Get(base + "/then/" + id)
+	if err != nil {
+		return 0, "", "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, "", "", err
+	}
+	return resp.StatusCode, string(b), resp.Header.Get("Retry-After"), nil
+}
+
+// Acceptance: async jobs POSTed open-loop at 2× capacity into a
+// 3-member queue group survive a mid-run primary kill — every id
+// resolves exactly once, sheds carry Retry-After, duplicates coalesce.
+func TestIngressE2EAsyncJobsSurvivePrimaryKill(t *testing.T) {
+	const (
+		replicas = 3
+		maxConc  = 8
+		exec     = 10 * time.Millisecond
+		runFor   = 3 * time.Second
+		dupEvery = 5 // every 5th POST reuses the same payload
+	)
+	mon := controller.NewMonitor()
+	inj := chaos.NewInjector(7, chaos.Config{})
+	db := store.NewDB()
+	nodes := startIngressCluster(t, replicas, 7, mon, inj, db, maxConc, exec)
+	primary := waitIngPrimary(t, nodes, 3*time.Second)
+
+	client := &http.Client{
+		Timeout: 15 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        1024,
+			MaxIdleConnsPerHost: 512,
+			MaxConnsPerHost:     1024,
+			IdleConnTimeout:     30 * time.Second,
+		},
+	}
+
+	// Closed-loop capacity through the whole stack (HTTP → group →
+	// failover → durable chain), unique payloads so nothing coalesces.
+	capacity := func() float64 {
+		const window = 700 * time.Millisecond
+		var done atomic.Int64
+		ctx, cancel := context.WithTimeout(context.Background(), window)
+		defer cancel()
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < 2*maxConc; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; ctx.Err() == nil; i++ {
+					status, _, err := httpDo(client, nodes[w%replicas].url, "work",
+						fmt.Sprintf("cal-%d-%d", w, i), "then=true")
+					if err == nil && status == http.StatusOK {
+						done.Add(1)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		return float64(done.Load()) / time.Since(start).Seconds()
+	}()
+	if capacity <= 0 {
+		t.Fatal("calibration produced no capacity")
+	}
+	rate := 2 * capacity
+	interval := time.Duration(float64(time.Second) / rate)
+	t.Logf("capacity %.0f rps, offering %.0f rps", capacity, rate)
+
+	// Open-loop POST phase: arrivals on a fixed schedule regardless of
+	// completions, primary killed halfway through.
+	type posted struct {
+		id      string
+		payload string
+	}
+	var (
+		mu      sync.Mutex
+		results []posted
+		postErr atomic.Int64
+		wg      sync.WaitGroup
+	)
+	start := time.Now()
+	end := start.Add(runFor)
+	killed := false
+	for i := 0; ; i++ {
+		at := start.Add(time.Duration(i) * interval)
+		if at.After(end) {
+			break
+		}
+		if d := time.Until(at); d > 0 {
+			time.Sleep(d)
+		}
+		if !killed && time.Since(start) >= runFor/2 {
+			inj.At(controller.KillControllerOp(primary.id), 0)
+			killed = true
+		}
+		payload := fmt.Sprintf("u-%d", i)
+		if i%dupEvery == 0 {
+			payload = "dup-payload"
+		}
+		wg.Add(1)
+		go func(i int, payload string) {
+			defer wg.Done()
+			status, id, err := httpDo(client, nodes[i%replicas].url, "work", payload, "")
+			if err != nil || status != http.StatusOK || id == "" {
+				postErr.Add(1)
+				return
+			}
+			mu.Lock()
+			results = append(results, posted{id: id, payload: payload})
+			mu.Unlock()
+		}(i, payload)
+	}
+	wg.Wait()
+	if !killed {
+		t.Fatal("kill was never scheduled")
+	}
+	if len(results) == 0 {
+		t.Fatal("no POST succeeded")
+	}
+	if pe := postErr.Load(); pe > int64(len(results)/10) {
+		t.Fatalf("%d/%d POSTs failed at the HTTP layer", pe, pe+int64(len(results)))
+	}
+
+	// Drain: all ingesses finish their in-flight dispatches.
+	drainDeadline := time.Now().Add(20 * time.Second)
+	for {
+		pending := 0
+		for _, nd := range nodes {
+			pending += nd.ing.Stats().Pending
+		}
+		if pending == 0 {
+			break
+		}
+		if time.Now().After(drainDeadline) {
+			t.Fatalf("%d jobs still pending after drain window", pending)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Collect phase: every id must resolve somewhere in the group —
+	// owners answer from memory, everyone else from durable state.
+	collect := func(id string) (int, string, string) {
+		for _, nd := range nodes {
+			status, body, ra, err := httpThen(client, nd.url, id)
+			if err == nil && status != http.StatusNotFound {
+				return status, body, ra
+			}
+		}
+		return http.StatusNotFound, "", ""
+	}
+
+	byID := map[string]string{} // id → payload
+	for _, p := range results {
+		if prev, ok := byID[p.id]; ok && prev != p.payload {
+			t.Fatalf("id %s shared by different payloads %q and %q", p.id, prev, p.payload)
+		}
+		byID[p.id] = p.payload
+	}
+
+	var okN, shedN, failN int
+	sem := make(chan struct{}, 32)
+	var cmu sync.Mutex
+	var cwg sync.WaitGroup
+	for id, payload := range byID {
+		cwg.Add(1)
+		go func(id, payload string) {
+			defer cwg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			status, body, ra := collect(id)
+			cmu.Lock()
+			defer cmu.Unlock()
+			switch status {
+			case http.StatusOK:
+				okN++
+				if want := payload + ".s"; body != want {
+					t.Errorf("id %s resolved %q, want %q", id, body, want)
+				}
+				// Exactly-once: the chain's final step output committed in
+				// exactly one store revision, dispatch retries and failover
+				// re-execution included.
+				doc, err := db.Get(store.StepOutputKey(id, 0))
+				if err != nil {
+					t.Errorf("id %s has no durable step output: %v", id, err)
+				} else if gen := store.RevGen(doc.Rev); gen != 1 {
+					t.Errorf("id %s step output committed %d times", id, gen)
+				}
+			case http.StatusServiceUnavailable:
+				shedN++
+				if ra == "" {
+					t.Errorf("id %s shed without a Retry-After hint", id)
+				}
+			case http.StatusNotFound:
+				t.Errorf("id %s resolved nowhere in the group", id)
+			default:
+				failN++
+			}
+		}(id, payload)
+	}
+	cwg.Wait()
+	t.Logf("ids %d | ok %d shed %d failed %d | posts %d (coalesced into %d ids)",
+		len(byID), okN, shedN, failN, len(results), len(byID))
+
+	if okN == 0 {
+		t.Fatal("no job completed")
+	}
+	if failN > len(byID)/10 {
+		t.Fatalf("%d/%d ids resolved as hard failures", failN, len(byID))
+	}
+
+	// Coalescing: duplicate-payload POSTs overlapped under 2× load, so
+	// dup-payload submissions must have shared ids.
+	dupIDs := map[string]bool{}
+	var dupPosts int
+	for _, p := range results {
+		if p.payload == "dup-payload" {
+			dupPosts++
+			dupIDs[p.id] = true
+		}
+	}
+	if dupPosts > 1 && len(dupIDs) >= dupPosts {
+		t.Fatalf("%d duplicate POSTs produced %d distinct ids: nothing coalesced", dupPosts, len(dupIDs))
+	}
+	var coalesced uint64
+	for _, nd := range nodes {
+		coalesced += nd.ing.Stats().Coalesced
+	}
+	if coalesced == 0 {
+		t.Fatal("group-wide coalesced counter is zero")
+	}
+
+	// Duplicate collection is idempotent: the same id yields identical
+	// bytes again.
+	for id, payload := range byID {
+		if status, body, _ := collect(id); status == http.StatusOK {
+			if body != payload+".s" {
+				t.Fatalf("re-collect of %s diverged: %q", id, body)
+			}
+			break
+		}
+	}
+	waitFailover(t, mon, 5*time.Second)
+}

@@ -1,0 +1,145 @@
+package ingress
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Member is one ingress front-end in a queue group.
+type Member struct {
+	// ID names the member; it seeds its hash-ring positions, so it must
+	// be stable across the group (every member lists the same IDs).
+	ID string
+	// URL is the member's job-API base URL ("http://host:port"); unused
+	// for the Self member.
+	URL string
+	// Self marks the member this process is.
+	Self bool
+	// Depth reports the member's live queue depth for spill decisions
+	// (nil: always 0). For remote members wire a cached/gossiped value —
+	// Route calls it on the hot path.
+	Depth func() int
+}
+
+// GroupOptions tunes the queue group.
+type GroupOptions struct {
+	// VNodes is the virtual nodes per member on the hash ring (0: 64).
+	// More vnodes smooth ownership at the cost of a bigger ring.
+	VNodes int
+	// SpillDepth is the owner queue depth above which the group
+	// considers spilling to a second choice (0: 32).
+	SpillDepth int
+}
+
+type vnode struct {
+	point  uint64
+	member int
+}
+
+// QueueGroup maps jobs to owning members by consistent hash, with
+// power-of-two-choices spill: a job leaves its owner only when the
+// owner's queue is past SpillDepth AND a second hashed choice is
+// strictly shallower. Hash ownership maximises coalescing (identical
+// jobs from any edge land on one member's pending table); the spill
+// bound keeps one hot key from melting its owner.
+type QueueGroup struct {
+	members []Member
+	ring    []vnode
+	opts    GroupOptions
+}
+
+// NewQueueGroup builds the ring. Member order does not matter; vnode
+// placement depends only on member IDs, so every group member computes
+// identical ownership.
+func NewQueueGroup(members []Member, opts GroupOptions) *QueueGroup {
+	if opts.VNodes <= 0 {
+		opts.VNodes = 64
+	}
+	if opts.SpillDepth <= 0 {
+		opts.SpillDepth = 32
+	}
+	q := &QueueGroup{members: append([]Member(nil), members...), opts: opts}
+	for i, m := range q.members {
+		for v := 0; v < opts.VNodes; v++ {
+			q.ring = append(q.ring, vnode{point: hash64(m.ID + "#" + strconv.Itoa(v)), member: i})
+		}
+	}
+	sort.Slice(q.ring, func(a, b int) bool { return q.ring[a].point < q.ring[b].point })
+	return q
+}
+
+// Members returns the group's member list.
+func (q *QueueGroup) Members() []Member { return q.members }
+
+// Self returns this process's member, or nil.
+func (q *QueueGroup) Self() *Member {
+	for i := range q.members {
+		if q.members[i].Self {
+			return &q.members[i]
+		}
+	}
+	return nil
+}
+
+// Owner returns the consistent-hash owner of a key, ignoring load.
+func (q *QueueGroup) Owner(key string) *Member {
+	if len(q.ring) == 0 {
+		return nil
+	}
+	p := hash64(key)
+	i := sort.Search(len(q.ring), func(i int) bool { return q.ring[i].point >= p })
+	if i == len(q.ring) {
+		i = 0
+	}
+	return &q.members[q.ring[i].member]
+}
+
+// Route picks the member a key should run on: its hash owner, unless
+// the owner is past SpillDepth and the key's second hashed choice is
+// strictly shallower (power-of-two-choices). spilled reports that the
+// second choice won.
+func (q *QueueGroup) Route(key string) (m *Member, spilled bool) {
+	owner := q.Owner(key)
+	if owner == nil || len(q.members) < 2 {
+		return owner, false
+	}
+	od := depth(owner)
+	if od <= q.opts.SpillDepth {
+		return owner, false
+	}
+	alt := q.altChoice(key, owner)
+	if alt != nil && depth(alt) < od {
+		return alt, true
+	}
+	return owner, false
+}
+
+// altChoice derives the key's second hashed choice among the members
+// that are not its owner — deterministic, so retries of a spilled key
+// keep landing on the same alternate (and still coalesce there).
+func (q *QueueGroup) altChoice(key string, owner *Member) *Member {
+	others := make([]int, 0, len(q.members)-1)
+	for i := range q.members {
+		if &q.members[i] != owner {
+			others = append(others, i)
+		}
+	}
+	if len(others) == 0 {
+		return nil
+	}
+	return &q.members[others[hash64(key+"\x00alt")%uint64(len(others))]]
+}
+
+func depth(m *Member) int {
+	if m.Depth == nil {
+		return 0
+	}
+	return m.Depth()
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

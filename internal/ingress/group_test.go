@@ -1,0 +1,187 @@
+package ingress
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestQueueGroupOwnershipIsDeterministicAndSpread(t *testing.T) {
+	mk := func(order []string) *QueueGroup {
+		ms := make([]Member, len(order))
+		for i, id := range order {
+			ms[i] = Member{ID: id}
+		}
+		return NewQueueGroup(ms, GroupOptions{})
+	}
+	a := mk([]string{"gw-0", "gw-1", "gw-2"})
+	b := mk([]string{"gw-2", "gw-0", "gw-1"}) // member order must not matter
+
+	counts := map[string]int{}
+	for i := 0; i < 3000; i++ {
+		key := "job/" + strconv.Itoa(i)
+		oa, ob := a.Owner(key), b.Owner(key)
+		if oa.ID != ob.ID {
+			t.Fatalf("key %q: owner %q vs %q across member orderings", key, oa.ID, ob.ID)
+		}
+		counts[oa.ID]++
+	}
+	for id, n := range counts {
+		if n < 500 || n > 1800 {
+			t.Fatalf("lopsided ring: %s owns %d/3000", id, n)
+		}
+	}
+}
+
+func TestQueueGroupSpillsOffOverloadedOwner(t *testing.T) {
+	depths := map[string]int{"gw-0": 0, "gw-1": 0, "gw-2": 0}
+	mkDepth := func(id string) func() int { return func() int { return depths[id] } }
+	q := NewQueueGroup([]Member{
+		{ID: "gw-0", Depth: mkDepth("gw-0")},
+		{ID: "gw-1", Depth: mkDepth("gw-1")},
+		{ID: "gw-2", Depth: mkDepth("gw-2")},
+	}, GroupOptions{SpillDepth: 8})
+
+	key := "hot/key"
+	owner := q.Owner(key)
+
+	// Owner under the spill bound: no rerouting, whatever the siblings
+	// look like.
+	m, spilled := q.Route(key)
+	if spilled || m.ID != owner.ID {
+		t.Fatalf("unloaded owner rerouted to %s (spilled=%v)", m.ID, spilled)
+	}
+
+	// Owner past the bound with a shallower second choice: spill, and
+	// deterministically to the same alternate every time.
+	depths[owner.ID] = 50
+	m1, spilled1 := q.Route(key)
+	m2, spilled2 := q.Route(key)
+	if !spilled1 || !spilled2 || m1.ID == owner.ID {
+		t.Fatalf("overloaded owner kept the key (got %s, spilled=%v)", m1.ID, spilled1)
+	}
+	if m1.ID != m2.ID {
+		t.Fatalf("spill not deterministic: %s then %s", m1.ID, m2.ID)
+	}
+
+	// Everyone equally deep: spilling buys nothing, stay home.
+	for id := range depths {
+		depths[id] = 50
+	}
+	if m, spilled := q.Route(key); spilled || m.ID != owner.ID {
+		t.Fatalf("uniform overload rerouted to %s (spilled=%v)", m.ID, spilled)
+	}
+}
+
+func TestIngressForwardsToOwningMember(t *testing.T) {
+	// Two-member group; member B runs a real ingress, member A (self)
+	// forwards everything B owns. Dispatchers tag results so we can see
+	// which member executed the job.
+	mkServer := func(tag string, group *QueueGroup) *Server {
+		s, err := NewServer(Options{
+			Dispatcher: DispatchFunc(func(_ context.Context, _ string, payload []byte) ([]byte, error) {
+				return []byte(tag + ":" + string(payload)), nil
+			}),
+			Group: group,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Close)
+		return s
+	}
+
+	// B serves with itself as Self, so forwarded requests terminate there.
+	groupB := NewQueueGroup([]Member{{ID: "A"}, {ID: "B", Self: true}}, GroupOptions{})
+	sb := mkServer("B", groupB)
+	tsB := httptest.NewServer(sb)
+	defer tsB.Close()
+
+	groupA := NewQueueGroup([]Member{
+		{ID: "A", Self: true},
+		{ID: "B", URL: tsB.URL},
+	}, GroupOptions{})
+	sa := mkServer("A", groupA)
+	tsA := httptest.NewServer(sa)
+	defer tsA.Close()
+
+	// Find payloads owned by each member.
+	keyFor := func(owner string) string {
+		for i := 0; ; i++ {
+			p := "payload-" + strconv.Itoa(i)
+			if groupA.Owner(coalesceKey("job", []byte(p))).ID == owner {
+				return p
+			}
+		}
+	}
+	pa, pb := keyFor("A"), keyFor("B")
+
+	// A-owned job POSTed at A runs locally.
+	id := postDo(t, tsA, "job", pa, "")
+	if status, body, _ := getThen(t, tsA, id); status != http.StatusOK || body != "A:"+pa {
+		t.Fatalf("A-owned job: %d %q", status, body)
+	}
+
+	// B-owned job POSTed at A is relayed; then=true carries B's answer
+	// straight through, and the result id is B's.
+	resp, err := http.Post(tsA.URL+"/do/job?then=true", "", strings.NewReader(pb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(b)
+	if resp.StatusCode != http.StatusOK || body != "B:"+pb {
+		t.Fatalf("forwarded job: %d %q", resp.StatusCode, body)
+	}
+	fid := resp.Header.Get(ResultIDHeader)
+	if fid == "" {
+		t.Fatal("forwarded response lost the result id header")
+	}
+	// The id resolves at B (the owner), not at A.
+	if status, b, _ := getThen(t, tsB, fid); status != http.StatusOK || b != "B:"+pb {
+		t.Fatalf("collect at owner: %d %q", status, b)
+	}
+	if st := sa.Stats(); st.Forwarded != 1 {
+		t.Fatalf("A Stats.Forwarded = %d, want 1", st.Forwarded)
+	}
+}
+
+func TestIngressFallsBackLocalWhenPeerDown(t *testing.T) {
+	group := NewQueueGroup([]Member{
+		{ID: "A", Self: true},
+		{ID: "B", URL: "http://127.0.0.1:1"}, // nothing listens there
+	}, GroupOptions{})
+	s, err := NewServer(Options{
+		Dispatcher: DispatchFunc(func(_ context.Context, _ string, payload []byte) ([]byte, error) {
+			return append([]byte("local:"), payload...), nil
+		}),
+		Group: group,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// A payload owned by the dead peer still gets served locally.
+	var p string
+	for i := 0; ; i++ {
+		p = "payload-" + strconv.Itoa(i)
+		if group.Owner(coalesceKey("job", []byte(p))).ID == "B" {
+			break
+		}
+	}
+	id := postDo(t, ts, "job", p, "")
+	if status, body, _ := getThen(t, ts, id); status != http.StatusOK || body != "local:"+p {
+		t.Fatalf("fallback: %d %q", status, body)
+	}
+}

@@ -21,23 +21,25 @@ import (
 // Registry holds named metrics. The zero value is not usable; call
 // NewRegistry. All methods are safe for concurrent use.
 type Registry struct {
-	mu       sync.Mutex
-	epoch    time.Time
-	counters map[string]float64
-	gauges   map[string]float64
-	hists    map[string]*stats.Sample
-	meters   map[string]*stats.Meter
+	mu         sync.Mutex
+	epoch      time.Time
+	counters   map[string]float64
+	gauges     map[string]float64
+	gaugeFuncs map[string]func() float64
+	hists      map[string]*stats.Sample
+	meters     map[string]*stats.Meter
 }
 
 // NewRegistry returns an empty registry anchored at the current wall
 // clock (meters bucket relative to it).
 func NewRegistry() *Registry {
 	return &Registry{
-		epoch:    time.Now(),
-		counters: map[string]float64{},
-		gauges:   map[string]float64{},
-		hists:    map[string]*stats.Sample{},
-		meters:   map[string]*stats.Meter{},
+		epoch:      time.Now(),
+		counters:   map[string]float64{},
+		gauges:     map[string]float64{},
+		gaugeFuncs: map[string]func() float64{},
+		hists:      map[string]*stats.Sample{},
+		meters:     map[string]*stats.Meter{},
 	}
 }
 
@@ -62,17 +64,35 @@ func (r *Registry) Counter(name string) float64 {
 	return r.counters[name]
 }
 
-// SetGauge records the current level of a named gauge.
+// SetGauge records the current level of a named gauge, replacing any
+// lazy gauge registered under the same name.
 func (r *Registry) SetGauge(name string, v float64) {
 	r.mu.Lock()
+	delete(r.gaugeFuncs, name)
 	r.gauges[name] = v
 	r.mu.Unlock()
 }
 
-// Gauge returns a gauge's last level (0 if never set).
+// GaugeFunc registers a lazy gauge: fn is sampled at read time (Gauge,
+// WriteText) rather than pushed, so live levels — queue depths,
+// pending-job counts — stay current without a publisher goroutine. A
+// later SetGauge or GaugeFunc under the same name replaces it. fn must
+// not call back into the registry.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	r.mu.Lock()
+	delete(r.gauges, name)
+	r.gaugeFuncs[name] = fn
+	r.mu.Unlock()
+}
+
+// Gauge returns a gauge's last level (0 if never set), sampling lazy
+// gauges registered via GaugeFunc.
 func (r *Registry) Gauge(name string) float64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if fn, ok := r.gaugeFuncs[name]; ok {
+		return fn()
+	}
 	return r.gauges[name]
 }
 
@@ -146,8 +166,15 @@ func (r *Registry) WriteText(w io.Writer) error {
 			return err
 		}
 	}
-	for _, name := range sortedKeys(r.gauges) {
-		if _, err := fmt.Fprintf(w, "gauge %s %g\n", name, r.gauges[name]); err != nil {
+	gauges := make(map[string]float64, len(r.gauges)+len(r.gaugeFuncs))
+	for name, v := range r.gauges {
+		gauges[name] = v
+	}
+	for name, fn := range r.gaugeFuncs {
+		gauges[name] = fn()
+	}
+	for _, name := range sortedKeys(gauges) {
+		if _, err := fmt.Fprintf(w, "gauge %s %g\n", name, gauges[name]); err != nil {
 			return err
 		}
 	}

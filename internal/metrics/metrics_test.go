@@ -160,3 +160,26 @@ func TestRegistryConcurrent(t *testing.T) {
 		t.Fatalf("lat n = %d, want 1600", r.Histogram("lat").N())
 	}
 }
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	depth := 3
+	r.GaugeFunc("queue-depth", func() float64 { return float64(depth) })
+	if got := r.Gauge("queue-depth"); got != 3 {
+		t.Fatalf("lazy gauge = %g, want 3", got)
+	}
+	depth = 7
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "gauge queue-depth 7\n") {
+		t.Fatalf("exposition missing sampled lazy gauge:\n%s", b.String())
+	}
+	// SetGauge under the same name replaces the lazy sampler.
+	r.SetGauge("queue-depth", 1)
+	depth = 99
+	if got := r.Gauge("queue-depth"); got != 1 {
+		t.Fatalf("replaced gauge = %g, want 1", got)
+	}
+}

@@ -1,0 +1,163 @@
+package rpc
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+)
+
+// This file is the batch envelope the ingress front door uses to
+// amortize per-RPC overhead for small tasks: N independent (method,
+// payload) calls ride one frame to the gateway, execute through the
+// ordinary per-method handlers (admission, deadline drops and shedding
+// apply per entry), and N replies ride one frame back. The envelope is
+// deliberately dumb — length-prefixed concatenation, no compression,
+// no shared state between entries — so a batch is exactly as safe as
+// its entries and a partial failure stays partial.
+
+// BatchMethod is the reserved method name batch envelopes are
+// dispatched under (Gateway.ExposeBatch registers its handler).
+const BatchMethod = "_hm.batch"
+
+// BatchEntry is one call riding a batch envelope.
+type BatchEntry struct {
+	Method  string
+	Payload []byte
+}
+
+// BatchReply is one entry's outcome. Err is the wire form of the
+// entry's error ("" on success), so typed errors (ShedError,
+// DeadlineExceededError, NotLeaderError) stay parseable after the
+// round trip exactly as they would on a dedicated call.
+type BatchReply struct {
+	Err  string
+	Body []byte
+}
+
+// batchMagic guards against dispatching a non-envelope payload as a
+// batch (a stray client calling BatchMethod with junk).
+var batchMagic = []byte("HMB1")
+
+// EncodeBatch packs entries into one envelope payload.
+func EncodeBatch(entries []BatchEntry) []byte {
+	n := len(batchMagic) + 4
+	for _, e := range entries {
+		n += 2 + len(e.Method) + 4 + len(e.Payload)
+	}
+	out := make([]byte, 0, n)
+	out = append(out, batchMagic...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(entries)))
+	for _, e := range entries {
+		out = binary.BigEndian.AppendUint16(out, uint16(len(e.Method)))
+		out = append(out, e.Method...)
+		out = binary.BigEndian.AppendUint32(out, uint32(len(e.Payload)))
+		out = append(out, e.Payload...)
+	}
+	return out
+}
+
+// DecodeBatch unpacks an EncodeBatch envelope.
+func DecodeBatch(raw []byte) ([]BatchEntry, error) {
+	m := len(batchMagic)
+	if len(raw) < m+4 || string(raw[:m]) != string(batchMagic) {
+		return nil, fmt.Errorf("rpc: not a batch envelope")
+	}
+	count := int(binary.BigEndian.Uint32(raw[m : m+4]))
+	off := m + 4
+	entries := make([]BatchEntry, 0, count)
+	for i := 0; i < count; i++ {
+		if len(raw) < off+2 {
+			return nil, fmt.Errorf("rpc: truncated batch envelope at entry %d", i)
+		}
+		ml := int(binary.BigEndian.Uint16(raw[off : off+2]))
+		off += 2
+		if len(raw) < off+ml+4 {
+			return nil, fmt.Errorf("rpc: truncated batch envelope at entry %d", i)
+		}
+		method := string(raw[off : off+ml])
+		off += ml
+		pl := int(binary.BigEndian.Uint32(raw[off : off+4]))
+		off += 4
+		if len(raw) < off+pl {
+			return nil, fmt.Errorf("rpc: truncated batch envelope at entry %d", i)
+		}
+		entries = append(entries, BatchEntry{Method: method, Payload: raw[off : off+pl]})
+		off += pl
+	}
+	return entries, nil
+}
+
+// EncodeBatchReplies packs per-entry outcomes into one reply payload.
+func EncodeBatchReplies(replies []BatchReply) []byte {
+	n := len(batchMagic) + 4
+	for _, r := range replies {
+		n += 4 + len(r.Err) + 4 + len(r.Body)
+	}
+	out := make([]byte, 0, n)
+	out = append(out, batchMagic...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(replies)))
+	for _, r := range replies {
+		out = binary.BigEndian.AppendUint32(out, uint32(len(r.Err)))
+		out = append(out, r.Err...)
+		out = binary.BigEndian.AppendUint32(out, uint32(len(r.Body)))
+		out = append(out, r.Body...)
+	}
+	return out
+}
+
+// DecodeBatchReplies unpacks an EncodeBatchReplies payload.
+func DecodeBatchReplies(raw []byte) ([]BatchReply, error) {
+	m := len(batchMagic)
+	if len(raw) < m+4 || string(raw[:m]) != string(batchMagic) {
+		return nil, fmt.Errorf("rpc: not a batch reply")
+	}
+	count := int(binary.BigEndian.Uint32(raw[m : m+4]))
+	off := m + 4
+	replies := make([]BatchReply, 0, count)
+	for i := 0; i < count; i++ {
+		if len(raw) < off+4 {
+			return nil, fmt.Errorf("rpc: truncated batch reply at entry %d", i)
+		}
+		el := int(binary.BigEndian.Uint32(raw[off : off+4]))
+		off += 4
+		if len(raw) < off+el+4 {
+			return nil, fmt.Errorf("rpc: truncated batch reply at entry %d", i)
+		}
+		errStr := string(raw[off : off+el])
+		off += el
+		bl := int(binary.BigEndian.Uint32(raw[off : off+4]))
+		off += 4
+		if len(raw) < off+bl {
+			return nil, fmt.Errorf("rpc: truncated batch reply at entry %d", i)
+		}
+		replies = append(replies, BatchReply{Err: errStr, Body: raw[off : off+bl]})
+		off += bl
+	}
+	return replies, nil
+}
+
+// ReplyError converts a BatchReply's wire error back into the error a
+// dedicated call would have returned (nil for success). ServerError is
+// the carrier, so IsShed/IsDeadlineExceeded/RedirectTarget all keep
+// working on batch outcomes.
+func (r BatchReply) ReplyError() error {
+	if r.Err == "" {
+		return nil
+	}
+	return ServerError(r.Err)
+}
+
+// Dispatch invokes a registered handler in-process, without a wire
+// round trip — the batch handler and the in-process ring share this
+// path. The interceptor, if installed, wraps the call exactly as it
+// would a framed request.
+func (s *Server) Dispatch(ctx context.Context, method string, payload []byte) ([]byte, error) {
+	e, si, ok := s.handlerFor(method)
+	if !ok {
+		return nil, ServerError("rpc: unknown method: " + method)
+	}
+	if si != nil {
+		return si(ctx, method, payload, e.fn)
+	}
+	return e.fn(ctx, payload)
+}

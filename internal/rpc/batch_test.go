@@ -1,0 +1,79 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+)
+
+func TestBatchEnvelopeRoundTrip(t *testing.T) {
+	entries := []BatchEntry{
+		{Method: "a", Payload: []byte("one")},
+		{Method: "longer-method-name", Payload: nil},
+		{Method: "c", Payload: bytes.Repeat([]byte{0xff}, 1024)},
+	}
+	got, err := DecodeBatch(EncodeBatch(entries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("decoded %d entries, want %d", len(got), len(entries))
+	}
+	for i := range entries {
+		if got[i].Method != entries[i].Method || !bytes.Equal(got[i].Payload, entries[i].Payload) {
+			t.Fatalf("entry %d mismatch: %+v vs %+v", i, got[i], entries[i])
+		}
+	}
+
+	replies := []BatchReply{
+		{Body: []byte("ok")},
+		{Err: string(ShedError(40 * time.Millisecond))},
+		{Err: "plain failure", Body: nil},
+	}
+	rt, err := DecodeBatchReplies(EncodeBatchReplies(replies))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt) != 3 {
+		t.Fatalf("decoded %d replies, want 3", len(rt))
+	}
+	if rt[0].ReplyError() != nil || string(rt[0].Body) != "ok" {
+		t.Fatalf("reply 0: %+v", rt[0])
+	}
+	// Typed errors survive the envelope: a shed entry still parses.
+	if err := rt[1].ReplyError(); !IsShed(err) {
+		t.Fatalf("reply 1 error %v lost shed typing", err)
+	} else if d, ok := ShedRetryAfter(err); !ok || d != 40*time.Millisecond {
+		t.Fatalf("retry-after %v/%v after round trip", d, ok)
+	}
+	if err := rt[2].ReplyError(); err == nil || IsShed(err) {
+		t.Fatalf("reply 2: %v", err)
+	}
+}
+
+func TestDecodeBatchRejectsJunk(t *testing.T) {
+	for _, raw := range [][]byte{nil, []byte("x"), []byte("HMB1"), EncodeBatch([]BatchEntry{{Method: "m", Payload: []byte("p")}})[:8]} {
+		if _, err := DecodeBatch(raw); err == nil {
+			t.Fatalf("DecodeBatch(%q) accepted junk", raw)
+		}
+	}
+	if _, err := DecodeBatchReplies([]byte("not a reply")); err == nil {
+		t.Fatal("DecodeBatchReplies accepted junk")
+	}
+}
+
+func TestServerDispatchInProcess(t *testing.T) {
+	s := NewServer()
+	defer s.Close()
+	s.Register("double", func(p []byte) ([]byte, error) {
+		return append(p, p...), nil
+	})
+	out, err := s.Dispatch(context.Background(), "double", []byte("ab"))
+	if err != nil || string(out) != "abab" {
+		t.Fatalf("Dispatch: %q, %v", out, err)
+	}
+	if _, err := s.Dispatch(context.Background(), "missing", nil); err == nil {
+		t.Fatal("Dispatch of unknown method succeeded")
+	}
+}

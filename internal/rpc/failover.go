@@ -75,30 +75,65 @@ type FailoverOptions struct {
 // failover, so routed methods must be idempotent (the checkpointed
 // chain path deduplicates by task id).
 type FailoverClient struct {
-	dials []func() (net.Conn, error)
-	opts  FailoverOptions
+	factories []func() (Transport, error)
+	opts      FailoverOptions
 
 	mu  sync.Mutex
-	cls []*Client
+	cls []Transport
 	cur int
 }
 
 // NewFailoverClient builds a client over one dial function per replica;
-// the slice index is the replica id redirects refer to.
+// the slice index is the replica id redirects refer to. Each endpoint
+// rides a fresh framed connection; NewFailoverTransports is the
+// generalisation that lets endpoints ride any Transport (shm ring, mux
+// stream) instead.
 func NewFailoverClient(dials []func() (net.Conn, error), opts FailoverOptions) *FailoverClient {
-	if len(dials) == 0 {
+	if opts.Callers <= 0 {
+		opts.Callers = 8
+	}
+	factories := make([]func() (Transport, error), len(dials))
+	for i, dial := range dials {
+		dial := dial
+		callers := opts.Callers
+		obs := opts.Observer
+		factories[i] = func() (Transport, error) {
+			conn, err := dial()
+			if err != nil {
+				return nil, err
+			}
+			cl := NewClient(conn, callers)
+			if obs != nil {
+				cl.SetObserver(obs)
+			}
+			return cl, nil
+		}
+	}
+	return NewFailoverTransports(factories, opts)
+}
+
+// NewFailoverTransports builds a leader-following client over one
+// transport factory per replica (the slice index is the replica id
+// redirects refer to). A factory is invoked lazily on first use and
+// again whenever its previous transport reports unhealthy — the
+// redirect-following, endpoint-sweeping and retry-budget logic is
+// identical regardless of what the calls ride, so the zero-copy fast
+// paths (runtime.Linker's shm ring for co-located leaders, mux streams
+// for remote ones) plug in without their own failover layer.
+func NewFailoverTransports(factories []func() (Transport, error), opts FailoverOptions) *FailoverClient {
+	if len(factories) == 0 {
 		panic("rpc: failover client needs at least one endpoint")
 	}
 	if opts.Callers <= 0 {
 		opts.Callers = 8
 	}
 	if opts.Attempts <= 0 {
-		opts.Attempts = 4 * len(dials)
+		opts.Attempts = 4 * len(factories)
 	}
 	if opts.RetryBackoff <= 0 {
 		opts.RetryBackoff = 25 * time.Millisecond
 	}
-	return &FailoverClient{dials: dials, opts: opts, cls: make([]*Client, len(dials))}
+	return &FailoverClient{factories: factories, opts: opts, cls: make([]Transport, len(factories))}
 }
 
 // DialFailover builds a leader-following client over TCP addresses.
@@ -118,26 +153,23 @@ func (f *FailoverClient) Leader() int {
 	return f.cur
 }
 
-// clientFor returns a healthy connection to endpoint idx, dialing if
-// needed.
-func (f *FailoverClient) clientFor(idx int) (*Client, error) {
+// clientFor returns a healthy transport to endpoint idx, rebuilding it
+// through the endpoint's factory if needed.
+func (f *FailoverClient) clientFor(idx int) (Transport, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if cl := f.cls[idx]; cl != nil && cl.Healthy() {
 		return cl, nil
 	}
-	conn, err := f.dials[idx]()
+	tr, err := f.factories[idx]()
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", errReconnect, err)
 	}
 	if f.cls[idx] != nil {
 		f.cls[idx].Close()
 	}
-	f.cls[idx] = NewClient(conn, f.opts.Callers)
-	if f.opts.Observer != nil {
-		f.cls[idx].SetObserver(f.opts.Observer)
-	}
-	return f.cls[idx], nil
+	f.cls[idx] = tr
+	return tr, nil
 }
 
 // route updates the believed leader: an explicit redirect target wins,
@@ -145,12 +177,12 @@ func (f *FailoverClient) clientFor(idx int) (*Client, error) {
 func (f *FailoverClient) route(from, target int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if target >= 0 && target < len(f.dials) {
+	if target >= 0 && target < len(f.factories) {
 		f.cur = target
 		return
 	}
 	if f.cur == from {
-		f.cur = (from + 1) % len(f.dials)
+		f.cur = (from + 1) % len(f.factories)
 	}
 }
 

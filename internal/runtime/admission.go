@@ -96,6 +96,7 @@ type admission struct {
 	active int                  // admitted and running
 	queues [laneCount][]*waiter // FIFO per rank
 	queued int                  // live (non-cancelled) waiters across lanes
+	live   [laneCount]int       // live waiters per rank (cancelled excluded)
 
 	// CoDel control law state, shared across the shed-eligible lanes.
 	firstAbove time.Time // when sojourn first exceeded Target (zero: below)
@@ -152,7 +153,11 @@ func (a *admission) admit(ctx context.Context, method string) (release func(), e
 		return a.release, nil
 	}
 	r := laneRank(lane)
-	if len(a.queues[r]) >= a.cfg.QueueLen {
+	// Lane-full is judged on live (non-cancelled) depth: a burst of
+	// client timeouts leaves cancelled waiters parked in the slice, and
+	// counting those would shed arrivals while the lane's real queue is
+	// far below QueueLen.
+	if a.live[r] >= a.cfg.QueueLen {
 		a.mu.Unlock()
 		a.shedFull.Add(1)
 		a.g.count("gateway-shed-full")
@@ -161,6 +166,7 @@ func (a *admission) admit(ctx context.Context, method string) (release func(), e
 	w := &waiter{enq: time.Now(), lane: lane, ch: make(chan error, 1)}
 	a.queues[r] = append(a.queues[r], w)
 	a.queued++
+	a.live[r]++
 	depth := a.queued
 	a.mu.Unlock()
 	a.g.gauge("gateway-queue-depth", float64(depth))
@@ -175,7 +181,15 @@ func (a *admission) admit(ctx context.Context, method string) (release func(), e
 		if w.state.CompareAndSwap(0, 2) {
 			a.mu.Lock()
 			a.queued--
+			a.live[r]--
+			if len(a.queues[r]) > 2*a.cfg.QueueLen {
+				a.compactLocked(r)
+			}
+			depth := a.queued
 			a.mu.Unlock()
+			// Re-publish the depth gauge: the cancelled waiter left the
+			// queue, and the next release/enqueue may be far away.
+			a.g.gauge("gateway-queue-depth", float64(depth))
 			return nil, ctx.Err()
 		}
 		// A grant (or shed) raced the cancellation and won; honour it so
@@ -212,15 +226,35 @@ func (a *admission) popLocked() *waiter {
 			a.queues[r] = q
 			if w.state.CompareAndSwap(0, 1) {
 				a.queued--
+				a.live[r]--
 				return w
 			}
-			// Cancelled: admit already decremented queued.
+			// Cancelled: admit's cancel path owns the queued/live
+			// decrements.
 		}
 		if len(q) == 0 && cap(a.queues[r]) > 4*a.cfg.QueueLen {
 			a.queues[r] = nil // shed a grown backing array
 		}
 	}
 	return nil
+}
+
+// compactLocked drops cancelled waiters from a lane's backing slice so
+// a cancellation storm cannot grow it without bound. Accounting is
+// untouched: the cancelling goroutine owns the queued/live decrements
+// whether or not its waiter is still in the slice.
+func (a *admission) compactLocked(r int) {
+	q := a.queues[r]
+	kept := q[:0]
+	for _, w := range q {
+		if w.state.Load() != 2 {
+			kept = append(kept, w)
+		}
+	}
+	for i := len(kept); i < len(q); i++ {
+		q[i] = nil
+	}
+	a.queues[r] = kept
 }
 
 // grantLocked fills free slots from the queues, applying the CoDel

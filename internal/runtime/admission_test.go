@@ -163,6 +163,95 @@ func TestAdmissionCancelledWaiterFreesQueue(t *testing.T) {
 	rel()
 }
 
+// TestAdmissionCancelledWaitersDontCountTowardLaneFull is the
+// regression test for the lane-full check counting cancelled waiters
+// still parked in the queue slice: after a burst of client timeouts a
+// lane must keep accepting arrivals while its live depth is below
+// QueueLen, and the backing slice must not grow without bound.
+func TestAdmissionCancelledWaitersDontCountTowardLaneFull(t *testing.T) {
+	a := testAdmission(AdmissionConfig{MaxConcurrent: 1, QueueLen: 4})
+	release, err := a.admit(context.Background(), "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three bursts of QueueLen clients queue up and time out: 12
+	// cancelled waiters pass through a 4-deep lane.
+	for round := 0; round < 3; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, err := a.admit(ctx, "m"); !errors.Is(err, context.Canceled) {
+					t.Errorf("round %d waiter err = %v, want cancelled", round, err)
+				}
+			}()
+			waitCond(t, func() bool {
+				a.mu.Lock()
+				defer a.mu.Unlock()
+				return a.queued == i+1
+			})
+		}
+		cancel()
+		wg.Wait()
+	}
+	// Live depth is zero: a fresh arrival must queue, not shed.
+	granted := make(chan error, 1)
+	go func() {
+		rel, err := a.admit(context.Background(), "m")
+		if err == nil {
+			rel()
+		}
+		granted <- err
+	}()
+	waitCond(t, func() bool {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return a.queued == 1
+	})
+	if got := a.shedFull.Load(); got != 0 {
+		t.Fatalf("spurious shed-full after cancellations: %d", got)
+	}
+	a.mu.Lock()
+	parked := len(a.queues[laneRank(LaneInteractive)])
+	a.mu.Unlock()
+	if parked > 2*4 {
+		t.Fatalf("cancelled waiters accumulated: %d parked, want compaction to bound it", parked)
+	}
+	release()
+	if err := <-granted; err != nil {
+		t.Fatalf("live waiter after cancellation burst: %v", err)
+	}
+}
+
+// TestAdmissionCancelRepublishesDepthGauge is the regression test for
+// the ctx-cancel path leaving a stale gateway-queue-depth high-water
+// reading: the gauge must drop when a queued waiter cancels, not wait
+// for the next release/enqueue.
+func TestAdmissionCancelRepublishesDepthGauge(t *testing.T) {
+	mon := &overloadMonitor{}
+	g := &Gateway{monitor: mon}
+	a := newAdmission(g, AdmissionConfig{MaxConcurrent: 1, QueueLen: 4})
+	release, err := a.admit(context.Background(), "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.admit(ctx, "m")
+		done <- err
+	}()
+	waitCond(t, func() bool { return mon.gauge("gateway-queue-depth") == 1 })
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter err = %v", err)
+	}
+	waitCond(t, func() bool { return mon.gauge("gateway-queue-depth") == 0 })
+	release()
+}
+
 // TestAdmissionCoDelShedsUnderSustainedDelay drives the queue so its
 // standing delay stays above Target for longer than Interval and checks
 // the control law starts shedding at dequeue.
@@ -337,6 +426,12 @@ func (m *overloadMonitor) SetGauge(name string, v float64) {
 		m.gauges = map[string]float64{}
 	}
 	m.gauges[name] = v
+}
+
+func (m *overloadMonitor) gauge(name string) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.gauges[name]
 }
 
 func (m *overloadMonitor) get(name string) int {

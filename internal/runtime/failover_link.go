@@ -1,0 +1,72 @@
+package runtime
+
+import (
+	"sync/atomic"
+
+	"hivemind/internal/rpc"
+)
+
+// This file closes the explicit leftover from the zero-copy fast-path
+// work: the leader-following FailoverClient used to dial a fresh v1
+// framed connection per endpoint even when the Linker could have given
+// it a shm ring (co-located leader) or a mux stream on a shared conn
+// (remote leader). LinkedFailover threads the Linker's per-peer
+// transport selection into the failover layer, so a redirect that moves
+// the primary from a co-located replica to a remote one also moves the
+// calls from the ring onto a stream — and back, when leadership
+// returns.
+
+// LinkedFailover is a leader-following client whose per-endpoint
+// transports are selected by a Linker: co-located peers ride the
+// in-process shm ring, remote peers a multiplexed stream on the
+// address's shared connection. It embeds the FailoverClient, so the
+// redirect/sweep/budget semantics are identical to DialFailover.
+type LinkedFailover struct {
+	*rpc.FailoverClient
+	kinds []atomic.Int32 // last-built transport kind per endpoint (-1: none yet)
+}
+
+// NewLinkedFailover builds a leader-following client over one Peer per
+// replica (the slice index is the replica id redirects refer to),
+// selecting each endpoint's fast path through l. Transports are built
+// lazily and rebuilt through the Linker when they turn unhealthy (a
+// ring whose gateway died, a shared conn that dropped), so a killed
+// co-located leader fails over onto a remote stream without any caller
+// involvement.
+func NewLinkedFailover(l *Linker, peers []Peer, opts rpc.FailoverOptions) *LinkedFailover {
+	lf := &LinkedFailover{kinds: make([]atomic.Int32, len(peers))}
+	factories := make([]func() (rpc.Transport, error), len(peers))
+	for i, p := range peers {
+		i, p := i, p
+		lf.kinds[i].Store(-1)
+		factories[i] = func() (rpc.Transport, error) {
+			lk, err := l.Connect(p)
+			if err != nil {
+				return nil, err
+			}
+			lf.kinds[i].Store(int32(lk.Kind))
+			return lk, nil
+		}
+	}
+	lf.FailoverClient = rpc.NewFailoverTransports(factories, opts)
+	return lf
+}
+
+// EndpointKind reports which fast path endpoint idx last selected, and
+// whether a transport has been built for it at all.
+func (lf *LinkedFailover) EndpointKind(idx int) (TransportKind, bool) {
+	if idx < 0 || idx >= len(lf.kinds) {
+		return 0, false
+	}
+	k := lf.kinds[idx].Load()
+	if k < 0 {
+		return 0, false
+	}
+	return TransportKind(k), true
+}
+
+// LeaderKind reports the fast path calls currently ride: the transport
+// kind of the believed-leader endpoint.
+func (lf *LinkedFailover) LeaderKind() (TransportKind, bool) {
+	return lf.EndpointKind(lf.Leader())
+}

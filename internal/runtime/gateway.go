@@ -161,6 +161,13 @@ func (g *Gateway) observe(name string, d time.Duration) {
 	}
 }
 
+// observeValue records a dimensionless sample (batch sizes, counts).
+func (g *Gateway) observeValue(name string, v float64) {
+	if g.monitor != nil {
+		g.monitor.Observe(name, v)
+	}
+}
+
 // gauge reports a level (queue depth, active slots) when the monitor
 // supports gauges (metrics.Registry does; the interface stays narrow for
 // sinks that only count).
@@ -244,6 +251,80 @@ func (g *Gateway) Expose(method, function string) {
 		g.count("gateway-ok")
 		return res.Output, nil
 	})
+}
+
+// ExposeBatch registers the batch-envelope endpoint (rpc.BatchMethod):
+// one RPC carries N small independent calls, each fanned out to this
+// gateway's registered methods concurrently. Every entry runs through
+// the same handler a dedicated call would — admission queueing,
+// deadline drops and shedding apply per entry — so a batch amortizes
+// per-RPC overhead without ever bypassing the front door. Per-entry
+// outcomes ride back in one reply frame with their wire error forms
+// intact (a shed entry stays rpc.IsShed after the round trip).
+func (g *Gateway) ExposeBatch() {
+	g.srv.RegisterCtx(rpc.BatchMethod, func(ctx context.Context, payload []byte) ([]byte, error) {
+		entries, err := rpc.DecodeBatch(payload)
+		if err != nil {
+			return nil, err
+		}
+		g.count("gateway-batch")
+		replies := make([]rpc.BatchReply, len(entries))
+		var wg sync.WaitGroup
+		for i, e := range entries {
+			if e.Method == rpc.BatchMethod {
+				replies[i] = rpc.BatchReply{Err: "rpc: nested batch envelope"}
+				continue
+			}
+			wg.Add(1)
+			go func(i int, e rpc.BatchEntry) {
+				defer wg.Done()
+				out, derr := g.srv.Dispatch(ctx, e.Method, e.Payload)
+				if derr != nil {
+					replies[i] = rpc.BatchReply{Err: derr.Error()}
+					return
+				}
+				replies[i] = rpc.BatchReply{Body: out}
+			}(i, e)
+		}
+		wg.Wait()
+		g.observeValue("gateway-batch-entries", float64(len(entries)))
+		return rpc.EncodeBatchReplies(replies), nil
+	})
+}
+
+// QueueDepth reports the gateway's current load for queue-group
+// balancing: admitted-and-running plus queued work. Zero when the
+// gateway runs without an Overload config.
+func (g *Gateway) QueueDepth() int {
+	s := g.AdmissionStats()
+	return s.Queued + s.Active
+}
+
+// TaskResult resolves a checkpointed chain task's final output from
+// durable state: found only once the task completed and its last step
+// output committed. Because it reads the shared store, any gateway in
+// the fleet (or a fresh one after a crash) can resolve a result id it
+// never dispatched — the property that makes ingress result ids
+// survive a gateway death.
+func (g *Gateway) TaskResult(taskID string) ([]byte, bool, error) {
+	if g.cfg.Checkpoints == nil {
+		return nil, false, nil
+	}
+	ck, found, err := g.cfg.Checkpoints.Task(taskID)
+	if err != nil || !found || !ck.Done {
+		return nil, false, err
+	}
+	g.mu.Lock()
+	functions, known := g.chains[ck.Method]
+	g.mu.Unlock()
+	if !known || len(functions) == 0 {
+		return nil, false, nil
+	}
+	out, committed, err := g.cfg.Checkpoints.StepOutput(taskID, len(functions)-1)
+	if err != nil || !committed {
+		return nil, false, err
+	}
+	return out, true, nil
 }
 
 // countFailure classifies a failed request into the counters the

@@ -124,7 +124,12 @@ func (l *Linker) remote(addr string) (*Link, error) {
 		return nil, rpc.ErrClosed
 	}
 	c, ok := l.clients[addr]
-	if !ok {
+	if !ok || !c.Healthy() {
+		// First use, or the shared connection died: (re)dial it. Streams
+		// on the dead conn already failed; new links get a fresh one.
+		if ok {
+			c.Close()
+		}
 		conn, err := l.opts.Dial(addr)
 		if err != nil {
 			return nil, fmt.Errorf("runtime: dialling %s: %w", addr, err)

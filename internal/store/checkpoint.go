@@ -159,6 +159,24 @@ func (l *CheckpointLog) StepOutput(taskID string, step int) ([]byte, bool, error
 	return doc.Body, true, nil
 }
 
+// Task returns a task's checkpoint record (found=false when the task
+// id is unknown). The ingress layer uses it to resolve result ids
+// against durable state after the gateway that minted them died.
+func (l *CheckpointLog) Task(taskID string) (TaskCheckpoint, bool, error) {
+	doc, err := l.db.Get(CheckpointKey(taskID))
+	if errors.Is(err, ErrNotFound) {
+		return TaskCheckpoint{}, false, nil
+	}
+	if err != nil {
+		return TaskCheckpoint{}, false, err
+	}
+	var ck TaskCheckpoint
+	if jerr := json.Unmarshal(doc.Body, &ck); jerr != nil {
+		return TaskCheckpoint{}, false, fmt.Errorf("store: corrupt checkpoint %s: %w", CheckpointKey(taskID), jerr)
+	}
+	return ck, true, nil
+}
+
 // Complete marks a task finished; it stops being an orphan candidate.
 func (l *CheckpointLog) Complete(taskID string) error {
 	key := CheckpointKey(taskID)
