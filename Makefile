@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-eval race-ring chaos crash-smoke live-smoke overload-smoke ingress-smoke bench bench-rpc bench-eval bench-gateway bench-store bench-all sweep sweep-parity examples fmt vet clean
+.PHONY: all build test race race-eval race-ring race-sim chaos crash-smoke live-smoke overload-smoke ingress-smoke bench bench-rpc bench-eval bench-gateway bench-store bench-sim bench-all sweep sweep-parity shard-parity examples fmt vet clean
 
 all: build vet test
 
@@ -29,6 +29,15 @@ race-ring:
 	$(GO) test -race -count=2 \
 		-run 'Ring|Mux|Stream|Teardown|Lend|Lent|PutBuf' \
 		./internal/rpc/ ./internal/runtime/ ./internal/chaos/
+
+# Sharded-executive race lane: the per-geo-cell engines, the window
+# barrier, the cross-cell radio and the mega-swarm mission, all under
+# the race detector with worker counts > 1 so the windows genuinely
+# interleave. -count=2 for schedule diversity.
+race-sim:
+	$(GO) test -race -count=2 \
+		-run 'Shard|Window|Swarm|Mega|Cell|Radio|Neighbor' \
+		./internal/sim/ ./internal/netsim/ ./internal/geo/ ./internal/scenario/
 
 # Fault-injection suite: every chaos test seeds its injectors and RNGs
 # (fixed seeds baked into the tests), so this run is deterministic.
@@ -134,6 +143,29 @@ bench-store:
 	$(GO) run ./cmd/hivemind-benchjson -in bench_store.out -out BENCH_store.json -label $(BENCH_LABEL)
 	rm -f bench_store.out
 
+# Sharded-simulation benchmarks: the 10⁴-device mega-swarm mission at
+# 1/2/8 executive workers (the shards=8 vs shards=1 ratio is the
+# headline speedup; on a single-core host the ratio is ~1 and the
+# committed numbers say so) plus the neighbor-index build vs the naive
+# all-pairs scan it replaced. Gated against the committed "post"
+# medians at 10% before BENCH_sim.json is rewritten, mirroring the
+# bench-rpc gate; CI sets BENCH_GATE=0 because shared runners are too
+# noisy to gate on wall clock.
+BENCH_GATE ?= 1
+bench-sim:
+	$(GO) test -run '^$$' -bench '^BenchmarkMegaSwarm10k$$' -benchtime 1x -count=5 \
+		./internal/scenario/ > bench_sim.out
+	$(GO) test -run '^$$' -bench '^BenchmarkNeighborBuild$$' -benchmem -count=5 \
+		./internal/netsim/ >> bench_sim.out
+	@if [ "$(BENCH_GATE)" = "1" ]; then \
+		$(GO) run ./cmd/hivemind-benchjson -in bench_sim.out \
+			-gate BENCH_sim.json -gate-label post -tolerance 0.10 \
+			'BenchmarkMegaSwarm10k/shards=1' 'BenchmarkMegaSwarm10k/shards=8' \
+			'BenchmarkNeighborBuild/indexed' || { rm -f bench_sim.out; exit 1; }; \
+	fi
+	$(GO) run ./cmd/hivemind-benchjson -in bench_sim.out -out BENCH_sim.json -label $(BENCH_LABEL) -median
+	rm -f bench_sim.out
+
 # Every benchmark in the repo, human-readable.
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
@@ -150,6 +182,19 @@ sweep-parity:
 	./hivemind-bench.parity -quick -parallel 0 -out report_parallel.txt > /dev/null
 	cmp report_serial.txt report_parallel.txt
 	rm -f hivemind-bench.parity report_serial.txt report_parallel.txt
+
+# Sharding parity gate: the mega-swarm driver must write byte-identical
+# reports whether one worker or eight execute the per-cell engines —
+# the determinism guarantee of the conservative time-window executive
+# (chaos deaths, RNG jitter and window accounting included).
+shard-parity:
+	$(GO) build -o hivemind-bench.parity ./cmd/hivemind-bench
+	./hivemind-bench.parity -quick -run mega01 -shards 1 -out report_s1.txt > /dev/null
+	./hivemind-bench.parity -quick -run mega01 -shards 2 -out report_s2.txt > /dev/null
+	./hivemind-bench.parity -quick -run mega01 -shards 8 -out report_s8.txt > /dev/null
+	cmp report_s1.txt report_s2.txt
+	cmp report_s1.txt report_s8.txt
+	rm -f hivemind-bench.parity report_s1.txt report_s2.txt report_s8.txt
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	hivemind-bench [-seed 1] [-quick] [-parallel 0] [-out report.txt]
+//	hivemind-bench [-seed 1] [-quick] [-parallel 0] [-shards 0] [-run substr] [-out report.txt]
 package main
 
 import (
@@ -35,6 +35,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		quick    = flag.Bool("quick", false, "reduced sweeps")
 		parallel = flag.Int("parallel", 0, "worker goroutines (0 = all cores, 1 = serial)")
+		shards   = flag.Int("shards", 0, "sharded-executive workers per simulation (0 = borrow from the sweep pool); never changes report bytes")
+		run      = flag.String("run", "", "only run experiments whose ID contains this substring")
 		out      = flag.String("out", "", "write the report to this file (default stdout)")
 	)
 	flag.Parse()
@@ -50,9 +52,13 @@ func main() {
 		w = io.MultiWriter(os.Stdout, f)
 	}
 
-	cfg := experiments.RunConfig{Seed: *seed, Quick: *quick, Parallelism: *parallel}
+	cfg := experiments.RunConfig{Seed: *seed, Quick: *quick, Parallelism: *parallel, Shards: *shards}
 	fmt.Fprintf(w, "HiveMind evaluation sweep (seed=%d quick=%v)\n\n", *seed, *quick)
-	results := experiments.RunAll(cfg)
+	results := experiments.RunMatching(cfg, *run)
+	if len(results) == 0 {
+		fmt.Fprintf(os.Stderr, "error: no experiment ID contains %q\n", *run)
+		os.Exit(1)
+	}
 	failed := false
 	for _, r := range results {
 		if r.Report == nil {

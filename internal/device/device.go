@@ -21,14 +21,23 @@ type Kind int
 const (
 	Drone Kind = iota
 	Rover
+	// TinyBot is a BittyBuzz-class micro-robot (Kilobot/Zooid scale):
+	// coin-cell battery, centimeters-per-second motion, short-range
+	// low-rate radio — the third fleet class of the mega-swarm
+	// scenarios.
+	TinyBot
 )
 
 // String implements fmt.Stringer.
 func (k Kind) String() string {
-	if k == Rover {
+	switch k {
+	case Rover:
 		return "rover"
+	case TinyBot:
+		return "tinybot"
+	default:
+		return "drone"
 	}
-	return "drone"
 }
 
 // Config describes a device class.
@@ -54,6 +63,23 @@ func DroneConfig() Config {
 		SwathWidthM: 6.7,
 		QueueLimit:  3,
 		HeartbeatS:  1,
+	}
+}
+
+// TinyBotConfig returns the BittyBuzz-class micro-robot calibration:
+// a Kilobot/Zooid-scale device with vibration-slide motion, an ambient
+// light/IR sensor instead of a camera, and a short-range low-rate
+// radio. Everything is three orders of magnitude below the drone.
+func TinyBotConfig() Config {
+	return Config{
+		Kind:        TinyBot,
+		Power:       energy.TinyBotProfile(),
+		SpeedMps:    0.01, // ~1 cm/s vibration slide
+		FrameMB:     0.002,
+		FPS:         2,
+		SwathWidthM: 0.1,
+		QueueLimit:  1,
+		HeartbeatS:  2,
 	}
 }
 

@@ -77,6 +77,24 @@ func RoverProfile() PowerProfile {
 	}
 }
 
+// TinyBotProfile models a BittyBuzz-class micro-robot (Kilobot/Zooid
+// scale): a coin-cell battery, milliwatt electronics, vibration-slide
+// motion, and an IR/low-power radio whose per-byte cost is high even
+// though absolute draw is tiny.
+func TinyBotProfile() PowerProfile {
+	return PowerProfile{
+		CapacityJ:    1000, // ~90 mAh coin cell at 3 V
+		HoverW:       0,
+		MoveW:        0.25,
+		ComputeBusyW: 0.12, // 8-bit MCU flat out
+		ComputeIdleW: 0.01,
+		BaseW:        0.03,
+		TxJPerMB:     9, // low-rate IR transceiver
+		RxJPerMB:     4,
+		RadioW:       0.04,
+	}
+}
+
 // Battery tracks energy consumption against a capacity, attributed by
 // load category.
 type Battery struct {

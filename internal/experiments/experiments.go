@@ -26,6 +26,12 @@ type RunConfig struct {
 	// byte-identical at every setting for the same seed — parallel runs
 	// merge results in deterministic order.
 	Parallelism int
+	// Shards sets the sharded-executive worker count for drivers that
+	// split one simulation across cores (mega01). 0 composes with the
+	// sweep pool: the driver borrows idle worker tokens for the run's
+	// duration instead of oversubscribing. The setting never changes
+	// results — only how many threads execute them.
+	Shards int
 
 	// exec carries the run-wide worker pool and memoized run cache; it
 	// is installed by RunAll (or lazily by Experiment.Run) so every

@@ -27,7 +27,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig01", "fig03a", "fig03b", "fig04", "fig05a", "fig05b", "fig05c",
 		"fig06a", "fig06b", "fig06c", "fig11", "fig12", "fig13", "fig14",
-		"fig15", "fig16", "fig17a", "fig17b", "fig18",
+		"fig15", "fig16", "fig17a", "fig17b", "fig18", "mega01",
 		"ubench-monitor", "ubench-rpc",
 	}
 	all := All()
@@ -344,6 +344,30 @@ func TestUbenchMonitorShape(t *testing.T) {
 	}
 	if rep.Value("throughput_overhead_pct") > 0.5 {
 		t.Fatalf("monitoring throughput overhead %.3f%%", rep.Value("throughput_overhead_pct"))
+	}
+}
+
+func TestMega01Shape(t *testing.T) {
+	rep := runExp(t, "mega01")
+	if rep.Value("covered_frac_300") < 0.8 {
+		t.Fatalf("quick mega-swarm gossip covered only %.0f%%", rep.Value("covered_frac_300")*100)
+	}
+	if rep.Value("locerr_final_m_300") >= rep.Value("locerr_start_m_300") {
+		t.Fatal("quick mega-swarm never localized")
+	}
+	// The -shards knob must not leak into the report: an explicit worker
+	// count and the pool-borrowing default produce identical findings.
+	forced := quick
+	forced.Shards = 3
+	e, _ := ByID("mega01")
+	rep2 := e.Run(forced)
+	if len(rep.Values) != len(rep2.Values) {
+		t.Fatal("finding counts differ across -shards settings")
+	}
+	for k, v := range rep.Values {
+		if rep2.Values[k] != v {
+			t.Fatalf("finding %s differs across -shards settings: %g vs %g", k, v, rep2.Values[k])
+		}
 	}
 }
 

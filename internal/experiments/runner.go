@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,6 +44,34 @@ func (cfg RunConfig) withExec() RunConfig {
 		cfg.exec = newExecutor(cfg.Parallelism)
 	}
 	return cfg
+}
+
+// borrow takes up to n spare worker tokens from the pool without
+// blocking and returns how many it got. Drivers that run one sharded
+// simulation across cores use it to widen that simulation with workers
+// the sweep isn't using, keeping total concurrency bounded by the
+// configured parallelism. Pair with release.
+func (x *executor) borrow(n int) int {
+	if x == nil {
+		return 0
+	}
+	got := 0
+	for got < n {
+		select {
+		case <-x.slots:
+			got++
+		default:
+			return got
+		}
+	}
+	return got
+}
+
+// release returns n borrowed tokens to the pool.
+func (x *executor) release(n int) {
+	for i := 0; i < n; i++ {
+		x.slots <- struct{}{}
+	}
 }
 
 // memo is a singleflight cell: the first caller computes, everyone else
@@ -128,9 +157,20 @@ type RunResult struct {
 // bounded pool of cfg.Parallelism workers (GOMAXPROCS when zero) and
 // one memoized run cache; with Parallelism: 1 the whole sweep runs on
 // the calling goroutine.
-func RunAll(cfg RunConfig) []RunResult {
+func RunAll(cfg RunConfig) []RunResult { return RunMatching(cfg, "") }
+
+// RunMatching runs the experiments whose ID contains substr (all when
+// empty), with the same sharing and ordering guarantees as RunAll. The
+// shard-parity CI lane uses it to run just the mega-swarm driver at
+// several -shards settings and diff the reports.
+func RunMatching(cfg RunConfig, substr string) []RunResult {
 	cfg = cfg.withExec()
-	exps := All()
+	var exps []Experiment
+	for _, e := range All() {
+		if substr == "" || strings.Contains(e.ID, substr) {
+			exps = append(exps, e)
+		}
+	}
 	out := make([]RunResult, len(exps))
 	fanOut(cfg, len(exps), func(i int) {
 		start := time.Now()

@@ -1,0 +1,225 @@
+package netsim
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"hivemind/internal/geo"
+	"hivemind/internal/sim"
+)
+
+// randomLayout scatters n devices with mixed radio ranges (long-range
+// drones down to short-range tiny robots).
+func randomLayout(n int, fieldM float64, seed int64) ([]geo.Point, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geo.Point, n)
+	ranges := make([]float64, n)
+	for i := range pts {
+		pts[i] = geo.Point{X: rng.Float64() * fieldM, Y: rng.Float64() * fieldM}
+		switch i % 10 {
+		case 0:
+			ranges[i] = 60 // drone
+		case 1, 2, 3:
+			ranges[i] = 35 // rover
+		default:
+			ranges[i] = 12 // tiny robot
+		}
+	}
+	return pts, ranges
+}
+
+// TestNeighborIndexMatchesNaive: the binned build must produce exactly
+// the sets the all-pairs scan produces, for mixed asymmetric ranges.
+func TestNeighborIndexMatchesNaive(t *testing.T) {
+	for _, n := range []int{1, 17, 400} {
+		pts, ranges := randomLayout(n, 300, int64(n))
+		ix := BuildNeighborIndex(pts, ranges)
+		naive := buildNeighborsNaive(pts, ranges)
+		for d := 0; d < n; d++ {
+			got, want := ix.Neighbors(d), naive[d]
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("n=%d device %d: indexed %v != naive %v", n, d, got, want)
+			}
+		}
+	}
+}
+
+// TestNeighborQueryAllocFree: the range query the broadcast hot path
+// performs per transmission must not allocate — that is the point of
+// replacing the per-transmission scan with the prebuilt index.
+func TestNeighborQueryAllocFree(t *testing.T) {
+	pts, ranges := randomLayout(500, 300, 7)
+	ix := BuildNeighborIndex(pts, ranges)
+	sink := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		for d := 0; d < 500; d++ {
+			sink += len(ix.Neighbors(d))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Neighbors allocated %.1f per run, want 0", allocs)
+	}
+	_ = sink
+}
+
+// TestNeighborIndexBeatsNaiveScan: the ns ceiling for the index build.
+// The binned build must beat the O(all-devices²) scan by a wide margin
+// at mega-swarm densities; the margin is asserted loosely (3×) so CI
+// noise cannot flake it, and skipped under the race detector where
+// instrumentation distorts both sides.
+func TestNeighborIndexBeatsNaiveScan(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing assertion not meaningful under -race")
+	}
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short")
+	}
+	pts, ranges := randomLayout(8000, 1400, 11)
+	timeIt := func(f func()) time.Duration {
+		start := time.Now()
+		f()
+		return time.Since(start)
+	}
+	// Warm once to populate caches, then measure.
+	BuildNeighborIndex(pts, ranges)
+	indexed := timeIt(func() { BuildNeighborIndex(pts, ranges) })
+	naive := timeIt(func() { buildNeighborsNaive(pts, ranges) })
+	if naive < 3*indexed {
+		t.Fatalf("indexed build %v not ≥3× faster than naive %v", indexed, naive)
+	}
+}
+
+// buildRadio wires a 2×2-cell sharded world with a deterministic
+// layout.
+func buildRadio(t *testing.T, workers int, latency float64) (*sim.ShardedEngine, *Radio, *geo.CellIndex, []geo.Point) {
+	t.Helper()
+	pts, ranges := randomLayout(200, 120, 3)
+	cells := geo.Partition(geo.NewField(120, 120), 4)
+	cix := geo.BuildCellIndex(cells, pts)
+	se, err := sim.NewSharded(3, len(cells), 0.004, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := BuildNeighborIndex(pts, ranges)
+	radio, err := NewRadio(se, ix, cix.CellOwners(), latency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return se, radio, cix, pts
+}
+
+// TestRadioLatencyBelowLookaheadRejected: a medium faster than the
+// declared lookahead would break the conservative windows.
+func TestRadioLatencyBelowLookaheadRejected(t *testing.T) {
+	pts, ranges := randomLayout(10, 50, 1)
+	cells := geo.Partition(geo.NewField(50, 50), 2)
+	cix := geo.BuildCellIndex(cells, pts)
+	se, err := sim.NewSharded(1, 2, 0.004, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewRadio(se, BuildNeighborIndex(pts, ranges), cix.CellOwners(), 0.001)
+	if err == nil {
+		t.Fatal("expected error for latency < lookahead")
+	}
+	var le *sim.LookaheadError
+	if !errors.As(err, &le) {
+		t.Fatalf("error %v is not a *sim.LookaheadError", err)
+	}
+}
+
+// TestRadioBroadcastDelivers: every neighbour — same cell or not —
+// receives exactly one delivery at send time + latency.
+func TestRadioBroadcastDelivers(t *testing.T) {
+	const latency = 0.004
+	se, radio, cix, _ := buildRadio(t, 2, latency)
+	src := 0
+	want := radio.Neighbors(src)
+	if len(want) == 0 {
+		t.Fatal("source has no neighbours; layout too sparse for the test")
+	}
+	got := map[int]int{}
+	var at []float64
+	srcCell := se.Cell(cix.CellOf(src))
+	srcCell.Engine().DeferAt(1.0, func() {
+		radio.Broadcast(src, func(dst int) {
+			got[dst]++
+			at = append(at, se.Cell(cix.CellOf(dst)).Engine().Now())
+		})
+	})
+	se.Run(2)
+	if len(got) != len(want) {
+		t.Fatalf("delivered to %d receivers, want %d", len(got), len(want))
+	}
+	for _, n := range want {
+		if got[int(n)] != 1 {
+			t.Fatalf("neighbour %d received %d deliveries, want 1", n, got[int(n)])
+		}
+	}
+	for _, ts := range at {
+		if ts != 1.0+latency {
+			t.Fatalf("delivery at %g, want %g", ts, 1.0+latency)
+		}
+	}
+	st := radio.Stats()
+	if st.Broadcasts != 1 || st.Deliveries != uint64(len(want)) {
+		t.Fatalf("stats %+v inconsistent with one broadcast to %d receivers", st, len(want))
+	}
+}
+
+// TestRadioParityAcrossWorkers: a gossip storm over the sharded radio
+// must deliver identically at any worker count.
+func TestRadioParityAcrossWorkers(t *testing.T) {
+	run := func(workers int) ([]uint64, RadioStats) {
+		se, radio, cix, _ := buildRadio(t, workers, 0.004)
+		heard := make([]uint64, 200)
+		for d := 0; d < 200; d++ {
+			d := d
+			cell := se.Cell(cix.CellOf(d))
+			var loop func()
+			loop = func() {
+				radio.Broadcast(d, func(dst int) { heard[dst]++ })
+				cell.Engine().Defer(0.05+cell.Engine().Rand().Float64()*0.01, loop)
+			}
+			cell.Engine().DeferAt(float64(d%7)*0.001, loop)
+		}
+		se.Run(1)
+		return heard, radio.Stats()
+	}
+	baseHeard, baseStats := run(1)
+	if baseStats.Deliveries == 0 || baseStats.CrossEvents == 0 {
+		t.Fatalf("storm produced no cross-cell traffic: %+v", baseStats)
+	}
+	for _, w := range []int{2, 8} {
+		heard, st := run(w)
+		if !reflect.DeepEqual(heard, baseHeard) {
+			t.Fatalf("workers=%d: delivery counts diverged", w)
+		}
+		if st != baseStats {
+			t.Fatalf("workers=%d: stats %+v != %+v", w, st, baseStats)
+		}
+	}
+}
+
+// BenchmarkNeighborBuild records what the binned index buys over the
+// per-transmission all-devices scan at 10⁴-device scale (the numbers
+// land in BENCH_sim.json via make bench-sim).
+func BenchmarkNeighborBuild(b *testing.B) {
+	pts, ranges := randomLayout(10000, 1000, 5)
+	b.Run("indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			BuildNeighborIndex(pts, ranges)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			buildNeighborsNaive(pts, ranges)
+		}
+	})
+}
